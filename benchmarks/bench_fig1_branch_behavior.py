@@ -1,0 +1,22 @@
+"""Figure 1: per-branch-location execution counts for mkdir.
+
+Paper shape: only a few branch locations account for the symbolic executions,
+and wherever a location has symbolic executions they cover (nearly) all of its
+executions — a branch location is either always symbolic or always concrete.
+"""
+
+from repro.experiments import coreutils_exp, print_table
+from benchmarks.conftest import run_once
+
+
+def test_fig1_mkdir_branch_behavior(benchmark):
+    rows = run_once(benchmark, coreutils_exp.figure1_rows, "mkdir")
+    print_table(rows, "Figure 1 - branch executions per location (mkdir)")
+    assert rows, "no branches executed"
+    symbolic_rows = [row for row in rows if row["symbolic_executions"] > 0]
+    # Only a minority of branch locations are symbolic.
+    assert 0 < len(symbolic_rows) < len(rows)
+    # "Black bars cover the gray bars": locations are almost never mixed.
+    mixed = [row for row in symbolic_rows
+             if row["symbolic_executions"] < row["executions"]]
+    assert len(mixed) <= max(1, len(symbolic_rows) // 4)

@@ -1,0 +1,20 @@
+"""Figure 2: CPU time of mkdir under the four instrumentation configurations.
+
+Paper shape: dynamic, dynamic+static and static are nearly identical (the
+analyses are accurate on these small programs); all-branches is the slowest.
+"""
+
+from repro.experiments import coreutils_exp, print_table
+from benchmarks.conftest import run_once
+
+
+def test_fig2_mkdir_overhead(benchmark):
+    rows = run_once(benchmark, coreutils_exp.figure2_rows, "mkdir")
+    print_table(rows, "Figure 2 - mkdir CPU time (normalised to none = 100%)")
+    cpu = {row["configuration"]: row["cpu_time_percent"] for row in rows}
+    assert cpu["dynamic"] <= cpu["all branches"]
+    assert cpu["dynamic+static"] <= cpu["all branches"]
+    assert cpu["static"] <= cpu["all branches"]
+    # The three analysis-based configurations are close to each other.
+    analysis_values = [cpu["dynamic"], cpu["dynamic+static"], cpu["static"]]
+    assert max(analysis_values) - min(analysis_values) <= 60.0

@@ -1,0 +1,31 @@
+"""Figure 4: uServer CPU time and storage per request for each configuration.
+
+Paper shape: all-branches and static carry large overheads (static instruments
+every library branch), while dynamic and dynamic+static stay cheap; storage per
+request for the dynamic configurations is a few tens of bytes.
+"""
+
+from repro.experiments import print_table, userver_exp
+from benchmarks.conftest import run_once
+
+
+def test_fig4_userver_overhead_and_storage(benchmark, userver_setup):
+    rows = run_once(benchmark, userver_exp.figure4_rows, userver_setup, 10)
+    print_table(rows, "Figure 4 - uServer CPU time and storage per request")
+    by_config = {row["configuration"]: row for row in rows}
+    dynamic = by_config["dynamic (hc)"]
+    combined = by_config["dynamic+static (hc)"]
+    static = by_config["static"]
+    all_branches = by_config["all branches"]
+    # CPU-time ordering.
+    assert dynamic["cpu_time_percent"] < static["cpu_time_percent"]
+    assert combined["cpu_time_percent"] < static["cpu_time_percent"]
+    assert static["cpu_time_percent"] <= all_branches["cpu_time_percent"] + 1.0
+    # The combined method saves a large fraction of the static overhead
+    # (the paper reports 10-92% savings on the instrumentation component).
+    static_overhead = static["cpu_time_percent"] - 100.0
+    combined_overhead = combined["cpu_time_percent"] - 100.0
+    assert combined_overhead <= 0.9 * static_overhead
+    # Storage ordering.
+    assert dynamic["storage_bytes_per_request"] <= static["storage_bytes_per_request"]
+    assert combined["storage_bytes_per_request"] <= static["storage_bytes_per_request"]

@@ -1,0 +1,20 @@
+"""Figure 5: CPU time of diff under the four instrumentation configurations.
+
+Paper shape: dynamic and dynamic+static are the cheapest; static and
+all-branches pay for logging every content-dependent comparison branch.
+"""
+
+from repro.experiments import diff_exp, print_table
+from benchmarks.conftest import run_once
+
+
+def test_fig5_diff_overhead(benchmark, diff_setup):
+    pipeline, analysis = diff_setup
+    rows = run_once(benchmark, diff_exp.figure5_rows, pipeline, analysis)
+    print_table(rows, "Figure 5 - diff CPU time (normalised to none = 100%)")
+    cpu = {row["configuration"]: row["cpu_time_percent"] for row in rows}
+    assert cpu["dynamic"] <= cpu["all branches"]
+    assert cpu["dynamic+static"] <= cpu["all branches"] + 1.0
+    assert cpu["static"] <= cpu["all branches"] + 1.0
+    locations = {row["configuration"]: row["instrumented_branch_locations"] for row in rows}
+    assert locations["dynamic"] <= locations["dynamic+static"] <= locations["all branches"]

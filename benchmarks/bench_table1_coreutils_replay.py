@@ -1,0 +1,17 @@
+"""Table 1: time needed to replay the crash bug in the four coreutils programs.
+
+Paper shape: every configuration reproduces every bug within a couple of
+seconds — the programs are small and both analyses are accurate on them.
+"""
+
+from repro.experiments import coreutils_exp, print_table
+from benchmarks.conftest import run_once
+
+
+def test_table1_coreutils_replay(benchmark):
+    rows = run_once(benchmark, coreutils_exp.table1_rows)
+    print_table(rows, "Table 1 - coreutils crash-bug replay time")
+    assert {row["program"] for row in rows} == {"mkdir", "mkfifo", "mknod", "paste"}
+    for row in rows:
+        for method in ("dynamic", "dynamic+static", "static", "all branches"):
+            assert row[method] != "TIMEOUT", f"{row['program']}/{method} timed out"

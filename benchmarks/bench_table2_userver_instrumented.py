@@ -1,0 +1,25 @@
+"""Table 2: number of instrumented branch locations in the uServer.
+
+Paper shape: dynamic instruments the fewest locations (and more with higher
+coverage), static and all-branches the most, and dynamic+static sits in
+between (shrinking as coverage grows, because more statically-symbolic
+branches are overridden by a dynamic "concrete" label).
+"""
+
+from repro.experiments import print_table, userver_exp
+from benchmarks.conftest import run_once
+
+
+def test_table2_instrumented_branch_locations(benchmark, userver_setup):
+    rows = run_once(benchmark, userver_exp.table2_rows, userver_setup)
+    print_table(rows, "Table 2 - instrumented branch locations (uServer)")
+    counts = {row["configuration"]: row for row in rows}
+    for coverage in ("LC", "HC"):
+        assert (counts["dynamic"][coverage]
+                <= counts["dynamic+static"][coverage]
+                <= counts["all branches"][coverage])
+        assert counts["static"][coverage] <= counts["all branches"][coverage]
+    # More exploration can only label more branches symbolic.
+    assert counts["dynamic"]["HC"] >= counts["dynamic"]["LC"]
+    # And it can only shrink (or keep) the combined set.
+    assert counts["dynamic+static"]["HC"] <= counts["dynamic+static"]["LC"]

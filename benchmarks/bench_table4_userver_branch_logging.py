@@ -1,0 +1,31 @@
+"""Table 4: symbolic branch locations/executions logged vs not logged (uServer).
+
+Paper shape: static and all-branches leave nothing unlogged; dynamic leaves
+the most unlogged symbolic executions (especially at low coverage); the number
+of unlogged symbolic locations correlates with the replay times of Table 3.
+"""
+
+from repro.experiments import print_table, userver_exp
+from benchmarks.conftest import run_once
+
+
+def _unlogged(cell: str) -> int:
+    return int(cell.split("/")[0].strip())
+
+
+def test_table4_branch_logging_split(benchmark, userver_setup):
+    rows = run_once(benchmark, userver_exp.table4_rows, userver_setup, scenarios=(1, 4))
+    print_table(rows, "Table 4 - symbolic branches logged / not logged (uServer)")
+    for row in rows:
+        config = row["configuration"]
+        unlogged_locations = _unlogged(row["not logged (locations/executions)"])
+        if config.startswith("static") or config.startswith("all branches"):
+            assert unlogged_locations == 0, f"{config} left symbolic branches unlogged"
+    # Dynamic never logs more than the combined method.
+    by_key = {(row["experiment"], row["configuration"]): row for row in rows}
+    for experiment in ("exp1", "exp4"):
+        for coverage in ("lc", "hc"):
+            dynamic = by_key[(experiment, f"dynamic ({coverage})")]
+            combined = by_key[(experiment, f"dynamic+static ({coverage})")]
+            assert (_unlogged(dynamic["not logged (locations/executions)"])
+                    >= _unlogged(combined["not logged (locations/executions)"]))

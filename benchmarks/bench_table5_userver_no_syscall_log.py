@@ -1,0 +1,49 @@
+"""Table 5: uServer reproduction time *without* syscall-result logging.
+
+Paper shape: every configuration takes longer than in Table 3 because the
+replay engine must search for the results of ``select``/``recv``; the
+configurations that also miss branch logs (dynamic) are penalised the most.
+"""
+
+from repro.experiments import print_table, userver_exp
+from repro.replay.budget import ReplayBudget
+from benchmarks.conftest import run_once
+
+
+def test_table5_no_syscall_logging(benchmark, userver_setup):
+    budget = ReplayBudget(max_runs=400, max_seconds=15)
+    rows = run_once(benchmark, userver_exp.table5_rows, userver_setup,
+                    scenarios=(1,), replay_budget=budget)
+    print_table(rows, "Table 5 - uServer reproduction time without syscall logging")
+    by_config = {row["configuration"]: row for row in rows}
+    cells = [key for key in by_config["static"] if key != "configuration"]
+    # The fully-logged configurations still reproduce scenario 1.
+    for config in ("static", "all branches", "dynamic+static"):
+        assert any(by_config[config][cell] != "TIMEOUT" for cell in cells)
+
+
+def test_table5_syscall_logging_helps(benchmark, userver_setup, userver_replay_budget):
+    """The paper's headline point: with syscall logging the same scenario is
+    reproduced at least as fast as without it (usually much faster)."""
+
+    def run_pair():
+        with_log = userver_exp.table3_rows(userver_setup, scenarios=(1,),
+                                           replay_budget=userver_replay_budget,
+                                           log_syscalls=True)
+        without_log = userver_exp.table3_rows(userver_setup, scenarios=(1,),
+                                              replay_budget=userver_replay_budget,
+                                              log_syscalls=False)
+        return with_log, without_log
+
+    with_log, without_log = run_once(benchmark, run_pair)
+    print_table(with_log, "Table 3 subset - with syscall logging")
+    print_table(without_log, "Table 5 subset - without syscall logging")
+
+    def seconds(cell: str) -> float:
+        return float("inf") if cell == "TIMEOUT" else float(cell.rstrip("s"))
+
+    for config_with, config_without in zip(with_log, without_log):
+        for key in config_with:
+            if key == "configuration":
+                continue
+            assert seconds(config_with[key]) <= seconds(config_without[key]) + 2.0

@@ -1,0 +1,24 @@
+"""Table 6: time needed to reproduce the two diff executions.
+
+Paper shape: dynamic cannot finish within the time budget (its low-coverage
+analysis leaves dozens of symbolic branch locations unlogged), while the three
+other configurations reproduce the executions quickly.
+"""
+
+from repro.experiments import diff_exp, print_table
+from benchmarks.conftest import run_once
+
+
+def test_table6_diff_replay(benchmark, diff_setup, diff_replay_budget):
+    pipeline, analysis = diff_setup
+    rows = run_once(benchmark, diff_exp.table6_rows, pipeline, analysis,
+                    replay_budget=diff_replay_budget)
+    print_table(rows, "Table 6 - diff reproduction time")
+    by_config = {row["configuration"]: row for row in rows}
+    # The fully-instrumented configurations reproduce both executions.
+    for config in ("static", "all branches", "dynamic+static"):
+        assert by_config[config]["exp1"] != "TIMEOUT"
+        assert by_config[config]["exp2"] != "TIMEOUT"
+    # Dynamic times out (the paper's infinity symbol) on at least one of them.
+    dynamic = by_config["dynamic"]
+    assert dynamic["exp1"] == "TIMEOUT" or dynamic["exp2"] == "TIMEOUT"

@@ -1,0 +1,24 @@
+"""Table 8: logged/unlogged symbolic branches without syscall-result logging.
+
+Paper shape: compared with Table 4, turning off syscall logging does not change
+which *branches* are logged (the plans are identical), but the replay now has
+to discover syscall results through those branches — the table documents the
+per-scenario symbolic branch volumes that drive Table 5's slowdowns.
+"""
+
+from repro.experiments import print_table, userver_exp
+from benchmarks.conftest import run_once
+
+
+def test_table8_branch_split_without_syscall_logging(benchmark, userver_setup):
+    rows = run_once(benchmark, userver_exp.table8_rows, userver_setup, scenarios=(1,))
+    print_table(rows, "Table 8 - symbolic branches logged / not logged (no syscall log)")
+    with_syscalls = userver_exp.table4_rows(userver_setup, scenarios=(1,))
+    # The branch split is independent of syscall logging: same plans, same split.
+    key = lambda row: (row["experiment"], row["configuration"])  # noqa: E731
+    table4 = {key(row): row for row in with_syscalls}
+    for row in rows:
+        reference = table4[key(row)]
+        assert row["logged (locations/executions)"] == reference["logged (locations/executions)"]
+        assert (row["not logged (locations/executions)"]
+                == reference["not logged (locations/executions)"])

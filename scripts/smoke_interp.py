@@ -1,0 +1,50 @@
+"""Developer smoke test for the substrate (not part of the test suite)."""
+
+from repro.lang.program import Program
+from repro.interp.interpreter import ExecutionConfig, Interpreter
+from repro.interp.inputs import ExecutionMode, InputBinder
+from repro.interp.tracer import TraceRecorder
+from repro.osmodel.kernel import Kernel, KernelConfig
+
+SOURCE = r"""
+int fibonacci(int n) {
+    if (n <= 1) {
+        return n;
+    }
+    return fibonacci(n - 1) + fibonacci(n - 2);
+}
+
+int main(int argc, char **argv) {
+    char option = read_option();
+    int result = 0;
+    if (option == 'a') {
+        result = fibonacci(10);
+    } else if (option == 'b') {
+        result = fibonacci(12);
+    }
+    printf("Result: %d\n", result);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = Program.from_source(SOURCE, name="fib")
+    print("branches:", [b.short() for b in program.branch_locations])
+
+    kernel = Kernel(config=KernelConfig(stdin_data=b"b"))
+    recorder = TraceRecorder()
+    interp = Interpreter(program, kernel=kernel, hooks=recorder,
+                         binder=InputBinder(mode=ExecutionMode.ANALYZE),
+                         config=ExecutionConfig(mode=ExecutionMode.ANALYZE))
+    result = interp.run(["fib"])
+    print("exit:", result.exit_code, "steps:", result.steps,
+          "branches:", result.branch_executions,
+          "symbolic:", result.symbolic_branch_executions)
+    print("stdout:", result.stdout.strip())
+    print("symbolic locations:", [b.short() for b in recorder.symbolic_locations()])
+    print("bound inputs:", interp.binder.assignment())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Developer smoke test for the full pipeline (not part of the test suite)."""
+
+from repro import InstrumentationMethod, Pipeline, ReplayBudget
+from repro.environment import simple_environment
+
+SOURCE = r"""
+int check(char *arg) {
+    int n = strlen(arg);
+    if (n > 3) {
+        if (arg[0] == 'c') {
+            if (arg[1] == 'r') {
+                if (arg[2] == 'a') {
+                    crash("boom");
+                }
+            }
+        }
+    }
+    return 0;
+}
+
+int main(int argc, char **argv) {
+    int i;
+    for (i = 1; i < argc; i = i + 1) {
+        check(argv[i]);
+    }
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    pipeline = Pipeline.from_source(SOURCE, name="smoke")
+    env = simple_environment(["smoke", "crash"], name="crash-scenario")
+
+    analysis = pipeline.analyze(env)
+    print(analysis.summary())
+
+    for method in InstrumentationMethod.paper_methods():
+        plan = pipeline.make_plan(method, analysis)
+        recording = pipeline.record(plan, env)
+        print(f"[{method.value}] plan={plan.instrumented_count()} branches, "
+              f"bits={len(recording.bitvector)}, crashed={recording.crashed}, "
+              f"cpu={recording.overhead.cpu_time_percent:.1f}%")
+        report = pipeline.reproduce(recording, budget=ReplayBudget(max_runs=200, max_seconds=20))
+        print("   replay:", report.describe())
+
+
+if __name__ == "__main__":
+    main()

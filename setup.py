@@ -1,0 +1,11 @@
+"""Setup shim so that editable installs work without the ``wheel`` package.
+
+The environment this repository targets has no network access and no
+``wheel`` distribution, so the PEP 517 editable path (which builds a wheel) is
+unavailable.  ``pip install -e . --no-use-pep517 --no-build-isolation`` falls
+back to this classic setup script.
+"""
+
+from setuptools import setup
+
+setup()

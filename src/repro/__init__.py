@@ -1,0 +1,53 @@
+"""Reproduction of *Striking a New Balance Between Program Instrumentation and
+Debugging Time* (Crameri, Bianchini, Zwaenepoel — EuroSys 2011).
+
+The package is organised as a set of substrates (a small C-like language, a
+symbolic expression layer with a constraint solver, a simulated OS, an
+interpreter) on top of which the paper's contribution is implemented: the
+dynamic/static/combined branch-instrumentation methods, the bitvector branch
+logger, and the bitvector-guided replay (bug reproduction) engine.
+
+The most convenient entry point is :class:`repro.Pipeline`::
+
+    from repro import InstrumentationMethod, Pipeline
+    from repro.environment import simple_environment
+    from repro.workloads import fibonacci
+
+    pipeline = Pipeline.from_source(fibonacci.SOURCE, name="fib")
+    env = fibonacci.scenario_b()
+    analysis = pipeline.analyze(env)
+    plan = pipeline.make_plan(InstrumentationMethod.DYNAMIC_PLUS_STATIC, analysis)
+    recording = pipeline.record(plan, env)
+    report = pipeline.reproduce(recording)
+"""
+
+from repro.core.config import ConcolicBudget, PipelineConfig, ReplayBudget
+from repro.core.pipeline import Pipeline
+from repro.core.results import (
+    AnalysisResult,
+    BranchLoggingStats,
+    InstrumentationReport,
+    RecordingResult,
+    ReplayReport,
+)
+from repro.environment import Environment, simple_environment
+from repro.instrument.methods import InstrumentationMethod
+from repro.instrument.plan import InstrumentationPlan
+
+__all__ = [
+    "AnalysisResult",
+    "BranchLoggingStats",
+    "ConcolicBudget",
+    "Environment",
+    "InstrumentationMethod",
+    "InstrumentationPlan",
+    "InstrumentationReport",
+    "Pipeline",
+    "PipelineConfig",
+    "RecordingResult",
+    "ReplayBudget",
+    "ReplayReport",
+    "simple_environment",
+]
+
+__version__ = "0.1.0"

@@ -1,0 +1,20 @@
+"""Static analysis: interprocedural dataflow + points-to (§2.2 of the paper).
+
+The analysis identifies the *sources* of input (argv and the input-returning
+builtins), propagates "symbolic" through assignments, calls, globals and
+pointer aliases, and labels every branch whose condition may depend on a
+symbolic value.  Like the paper's CIL-based implementation it is deliberately
+conservative: every truly symbolic branch is labelled symbolic, and imprecision
+in the points-to analysis can only add concrete branches to the symbolic set,
+never remove symbolic ones.
+"""
+
+from repro.analysis.pointsto import PointsToAnalysis, PointsToResult
+from repro.analysis.dataflow import StaticAnalyzer, StaticAnalysisResult
+
+__all__ = [
+    "PointsToAnalysis",
+    "PointsToResult",
+    "StaticAnalysisResult",
+    "StaticAnalyzer",
+]

@@ -1,0 +1,22 @@
+"""Dynamic analysis: time-bounded concolic execution.
+
+The engine repeatedly runs the program with concrete inputs, collects the path
+constraints induced by symbolic branches, and generates new inputs by negating
+individual constraints (the classic concolic loop, §2.1 of the paper).  Its
+output is a labelling of branch locations as *symbolic* or *concrete*; branch
+locations never visited within the budget remain *unlabeled*.
+"""
+
+from repro.concolic.budget import ConcolicBudget
+from repro.concolic.engine import ConcolicEngine, DynamicAnalysisResult
+from repro.concolic.hooks import ConcolicRunTrace
+from repro.concolic.labels import BranchLabel, BranchLabels
+
+__all__ = [
+    "BranchLabel",
+    "BranchLabels",
+    "ConcolicBudget",
+    "ConcolicEngine",
+    "ConcolicRunTrace",
+    "DynamicAnalysisResult",
+]

@@ -1,0 +1,38 @@
+"""Pipeline configuration objects.
+
+:class:`ConcolicBudget` and :class:`ReplayBudget` are defined next to the
+engines that consume them and re-exported here so that user code only needs to
+import from :mod:`repro` / :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+from repro.concolic.budget import ConcolicBudget
+from repro.replay.budget import ReplayBudget
+
+__all__ = ["ConcolicBudget", "PipelineConfig", "ReplayBudget"]
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs shared by every stage of a :class:`~repro.core.pipeline.Pipeline`.
+
+    ``library_functions`` plays the role of uClibc in the paper's uServer
+    experiment: those functions are excluded from the static analysis (all
+    their branches are conservatively treated as symbolic) and reported
+    separately in branch-behaviour statistics.
+    """
+
+    concolic_budget: ConcolicBudget = field(default_factory=ConcolicBudget)
+    replay_budget: ReplayBudget = field(default_factory=ReplayBudget)
+    log_syscalls: bool = True
+    library_functions: Set[str] = field(default_factory=set)
+    static_skips_library: bool = True
+    replay_search_order: str = "dfs"
+    record_max_steps: int = 10_000_000
+
+    def static_skip_set(self) -> Set[str]:
+        return set(self.library_functions) if self.static_skips_library else set()

@@ -1,0 +1,29 @@
+"""Small helpers for printing experiment tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render a list of row dicts as a fixed-width text table."""
+
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    widths = {col: max(len(str(col)), max(len(str(row.get(col, ""))) for row in rows))
+              for col in columns}
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(" | ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict[str, object]], title: str = "") -> None:
+    print()
+    print(format_table(rows, title))

@@ -1,0 +1,30 @@
+"""Branch instrumentation: deciding what to log and logging it.
+
+This package implements §2.3 of the paper:
+
+* :mod:`repro.instrument.methods` — the four instrumentation methods
+  (*dynamic*, *static*, *dynamic+static*, *all branches*) that turn analysis
+  results into an :class:`~repro.instrument.plan.InstrumentationPlan`,
+* :mod:`repro.instrument.logger` — the runtime branch logger (one bit per
+  executed instrumented branch, 4 KB buffer flushed to simulated disk) and the
+  selective syscall-result logger,
+* :mod:`repro.instrument.overhead` — the CPU/storage overhead model calibrated
+  against the paper's microbenchmark measurements (17 instructions ≈ 3 ns per
+  instrumented branch).
+"""
+
+from repro.instrument.methods import InstrumentationMethod, build_plan
+from repro.instrument.plan import InstrumentationPlan
+from repro.instrument.logger import BitvectorLog, BranchLogger, SyscallResultLog
+from repro.instrument.overhead import OverheadModel, OverheadReport
+
+__all__ = [
+    "BitvectorLog",
+    "BranchLogger",
+    "InstrumentationMethod",
+    "InstrumentationPlan",
+    "OverheadModel",
+    "OverheadReport",
+    "SyscallResultLog",
+    "build_plan",
+]

@@ -1,0 +1,153 @@
+"""Runtime logging: the branch bitvector and the selective syscall-result log.
+
+The paper's instrumentation writes one bit per executed instrumented branch
+into a 4 KB in-memory buffer that is flushed to disk when full (§4).  The
+:class:`BranchLogger` reproduces that behaviour as an interpreter hook and
+accounts for buffer flushes so the storage model can charge for them.
+
+The :class:`SyscallResultLog` records the integer results of the syscalls in
+:data:`repro.osmodel.syscalls.LOGGED_BY_DEFAULT` (``read``/``recv`` return
+values, ``select`` ready descriptor, ``accept`` result) — never the transferred
+data itself, matching the paper's privacy constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.instrument.plan import InstrumentationPlan
+from repro.interp.tracer import BranchEvent, ExecutionHooks
+from repro.lang.cfg import BranchLocation
+from repro.osmodel.syscalls import LOGGED_BY_DEFAULT, SyscallEvent, SyscallKind
+
+LOG_BUFFER_BYTES = 4096
+"""Size of the in-memory branch-log buffer before it is flushed (the paper
+uses a 4 KB buffer)."""
+
+
+@dataclass
+class BitvectorLog:
+    """The branch log: one bit per executed instrumented branch, in order."""
+
+    bits: List[bool] = field(default_factory=list)
+    flushes: int = 0
+
+    def append(self, taken: bool) -> None:
+        self.bits.append(bool(taken))
+        if len(self.bits) % (LOG_BUFFER_BYTES * 8) == 0:
+            self.flushes += 1
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __iter__(self) -> Iterator[bool]:
+        return iter(self.bits)
+
+    def __getitem__(self, index: int) -> bool:
+        return self.bits[index]
+
+    def storage_bytes(self) -> int:
+        """Bytes needed to store the bitvector (rounded up to whole bytes)."""
+
+        return (len(self.bits) + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        """Pack the bitvector into bytes (LSB-first within each byte)."""
+
+        out = bytearray((len(self.bits) + 7) // 8)
+        for index, bit in enumerate(self.bits):
+            if bit:
+                out[index // 8] |= 1 << (index % 8)
+        return bytes(out)
+
+    @classmethod
+    def from_bits(cls, bits: Sequence[bool]) -> "BitvectorLog":
+        log = cls()
+        for bit in bits:
+            log.append(bool(bit))
+        return log
+
+
+@dataclass
+class SyscallResultLog:
+    """Ordered per-kind log of syscall results (integers only, never data)."""
+
+    results: Dict[SyscallKind, List[int]] = field(default_factory=dict)
+    logged_kinds: frozenset = LOGGED_BY_DEFAULT
+
+    def record(self, event: SyscallEvent) -> None:
+        if event.kind in self.logged_kinds:
+            self.results.setdefault(event.kind, []).append(event.result)
+
+    def count(self) -> int:
+        return sum(len(values) for values in self.results.values())
+
+    def storage_bytes(self) -> int:
+        """4 bytes per logged result (a 32-bit integer each)."""
+
+        return 4 * self.count()
+
+    def of_kind(self, kind: SyscallKind) -> List[int]:
+        return list(self.results.get(kind, ()))
+
+    def cursor(self) -> "SyscallLogCursor":
+        return SyscallLogCursor(self)
+
+
+class SyscallLogCursor:
+    """Sequential reader used by the replay engine to consume logged results."""
+
+    def __init__(self, log: SyscallResultLog) -> None:
+        self._log = log
+        self._positions: Dict[SyscallKind, int] = {}
+
+    def next_result(self, kind: SyscallKind) -> Optional[int]:
+        values = self._log.results.get(kind)
+        if values is None:
+            return None
+        position = self._positions.get(kind, 0)
+        if position >= len(values):
+            return None
+        self._positions[kind] = position + 1
+        return values[position]
+
+    def remaining(self, kind: SyscallKind) -> int:
+        values = self._log.results.get(kind, [])
+        return len(values) - self._positions.get(kind, 0)
+
+
+class BranchLogger(ExecutionHooks):
+    """Interpreter hook implementing the user-site instrumentation runtime."""
+
+    def __init__(self, plan: InstrumentationPlan) -> None:
+        self.plan = plan
+        self.bitvector = BitvectorLog()
+        self.syscall_log = SyscallResultLog()
+        self.instrumented_executions = 0
+        self.total_branch_executions = 0
+        self.per_location_executions: Dict[BranchLocation, int] = {}
+
+    def on_branch(self, event: BranchEvent) -> None:
+        self.total_branch_executions += 1
+        if not self.plan.is_instrumented(event.location):
+            return
+        self.instrumented_executions += 1
+        self.per_location_executions[event.location] = (
+            self.per_location_executions.get(event.location, 0) + 1)
+        self.bitvector.append(event.taken)
+
+    def on_syscall(self, event: SyscallEvent) -> None:
+        if self.plan.log_syscalls:
+            self.syscall_log.record(event)
+
+    # -- storage accounting ------------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        total = self.bitvector.storage_bytes()
+        if self.plan.log_syscalls:
+            total += self.syscall_log.storage_bytes()
+        return total
+
+    def instrumented_locations_executed(self) -> int:
+        return len(self.per_location_executions)

@@ -1,0 +1,70 @@
+"""The instrumentation plan: which branch locations are logged.
+
+The developer keeps the plan (the ordered list of instrumented branch
+locations) because the replay engine needs it to interpret the bitvector
+received with a bug report (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.lang.cfg import BranchLocation
+
+
+@dataclass
+class InstrumentationPlan:
+    """The set of instrumented branch locations plus logging options."""
+
+    method: str
+    instrumented: FrozenSet[BranchLocation]
+    all_locations: FrozenSet[BranchLocation]
+    log_syscalls: bool = True
+    analysis_metadata: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_sets(cls, method: str, instrumented: Iterable[BranchLocation],
+                  all_locations: Iterable[BranchLocation],
+                  log_syscalls: bool = True,
+                  analysis_metadata: Optional[Dict[str, object]] = None) -> "InstrumentationPlan":
+        return cls(method=method,
+                   instrumented=frozenset(instrumented),
+                   all_locations=frozenset(all_locations),
+                   log_syscalls=log_syscalls,
+                   analysis_metadata=dict(analysis_metadata or {}))
+
+    # -- queries --------------------------------------------------------------------
+
+    def is_instrumented(self, location: BranchLocation) -> bool:
+        return location in self.instrumented
+
+    def instrumented_count(self) -> int:
+        return len(self.instrumented)
+
+    def instrumented_in(self, functions: Iterable[str]) -> Set[BranchLocation]:
+        wanted = set(functions)
+        return {loc for loc in self.instrumented if loc.function in wanted}
+
+    def fraction_instrumented(self) -> float:
+        if not self.all_locations:
+            return 0.0
+        return len(self.instrumented) / len(self.all_locations)
+
+    def without_syscall_logging(self) -> "InstrumentationPlan":
+        """The same branch set, but with syscall-result logging disabled."""
+
+        return InstrumentationPlan(method=self.method,
+                                   instrumented=self.instrumented,
+                                   all_locations=self.all_locations,
+                                   log_syscalls=False,
+                                   analysis_metadata=dict(self.analysis_metadata))
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "instrumented_branch_locations": len(self.instrumented),
+            "total_branch_locations": len(self.all_locations),
+            "fraction": round(self.fraction_instrumented(), 4),
+            "log_syscalls": self.log_syscalls,
+        }

@@ -1,0 +1,39 @@
+"""The MiniC interpreter.
+
+A single tree-walking interpreter serves every stage of the pipeline:
+
+* **recording** at the simulated user site (values are plain integers, the
+  branch logger observes instrumented branches),
+* **dynamic analysis** (inputs carry symbolic expressions; the concolic engine
+  observes path constraints),
+* **replay** at the developer site (inputs are symbolic, concrete values come
+  from the solver, the replay engine aborts runs that deviate from the
+  recorded bitvector).
+
+The interpreter always computes with :class:`~repro.interp.values.ConcolicValue`
+objects; "concrete execution" is simply the case where no value carries a
+symbolic expression.
+"""
+
+from repro.interp.builtins import BUILTIN_NAMES, INPUT_RETURNING_BUILTINS
+from repro.interp.inputs import ExecutionMode, InputBinder
+from repro.interp.interpreter import ExecutionConfig, ExecutionResult, Interpreter
+from repro.interp.tracer import BranchEvent, ExecutionHooks, NullHooks, TraceRecorder
+from repro.interp.values import ArrayObject, ConcolicValue, Pointer
+
+__all__ = [
+    "ArrayObject",
+    "BUILTIN_NAMES",
+    "BranchEvent",
+    "ConcolicValue",
+    "ExecutionConfig",
+    "ExecutionHooks",
+    "ExecutionMode",
+    "ExecutionResult",
+    "INPUT_RETURNING_BUILTINS",
+    "InputBinder",
+    "Interpreter",
+    "NullHooks",
+    "Pointer",
+    "TraceRecorder",
+]

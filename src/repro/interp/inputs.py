@@ -1,0 +1,126 @@
+"""Input binding: which bytes are symbolic, and what concrete value they take.
+
+The same interpreter runs in three modes (the paper's three sites):
+
+* ``RECORD`` — the user site.  Inputs are whatever the environment provides;
+  nothing is symbolic.
+* ``ANALYZE`` — pre-deployment dynamic analysis.  Inputs are symbolic; their
+  concrete values come from the environment for the first run and from the
+  constraint solver afterwards.
+* ``REPLAY`` — the developer site.  Inputs are symbolic; their concrete values
+  come from the solver, and the *actual* user data is never consulted (the
+  binder substitutes a neutral default when no override exists), preserving the
+  paper's privacy property.
+
+The :class:`InputBinder` gives every input byte a stable name based on its
+channel and offset (``arg1_0``, ``conn0_17``, ``file_/a.txt_3``, ``stdin_5``),
+so constraints collected in one run can be solved and re-injected in the next.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.interp.values import ConcolicValue
+from repro.symbolic.expr import SymVar, sym_var
+
+
+class ExecutionMode(enum.Enum):
+    """The three sites at which the instrumented program runs."""
+
+    RECORD = "record"
+    ANALYZE = "analyze"
+    REPLAY = "replay"
+
+    @property
+    def symbolic_inputs(self) -> bool:
+        return self is not ExecutionMode.RECORD
+
+    @property
+    def hides_environment_data(self) -> bool:
+        """REPLAY must not look at real user input bytes."""
+
+        return self is ExecutionMode.REPLAY
+
+
+#: Default concrete value for a replayed input byte with no solver override.
+_REPLAY_DEFAULT_BYTE = ord("A")
+
+
+@dataclass
+class InputBinder:
+    """Creates symbolic variables for consumed input and tracks their values."""
+
+    mode: ExecutionMode = ExecutionMode.RECORD
+    overrides: Dict[str, int] = field(default_factory=dict)
+    variables: Dict[str, SymVar] = field(default_factory=dict)
+    concrete_values: Dict[str, int] = field(default_factory=dict)
+    _counters: Dict[str, int] = field(default_factory=dict)
+
+    # -- naming -------------------------------------------------------------------
+
+    def next_index(self, channel: str) -> int:
+        index = self._counters.get(channel, 0)
+        self._counters[channel] = index + 1
+        return index
+
+    # -- binding -------------------------------------------------------------------
+
+    def bind_byte(self, name: str, env_value: Optional[int]) -> ConcolicValue:
+        """Bind one input byte.
+
+        ``env_value`` is what the real environment would provide (or ``None``
+        when the environment has nothing, e.g. reading past the end of the
+        scripted request during replay with a solver-chosen longer length).
+        """
+
+        return self._bind(name, env_value, lo=0, hi=255,
+                          default=_REPLAY_DEFAULT_BYTE)
+
+    def bind_int(self, name: str, env_value: Optional[int], lo: int, hi: int,
+                 default: Optional[int] = None) -> ConcolicValue:
+        """Bind an integer-valued input (e.g. a syscall return value)."""
+
+        if default is None:
+            default = hi
+        return self._bind(name, env_value, lo=lo, hi=hi, default=default)
+
+    def _bind(self, name: str, env_value: Optional[int], lo: int, hi: int,
+              default: int) -> ConcolicValue:
+        if not self.mode.symbolic_inputs:
+            value = env_value if env_value is not None else default
+            return ConcolicValue(value)
+        if name in self.overrides:
+            value = self.overrides[name]
+        elif self.mode.hides_environment_data or env_value is None:
+            value = default
+        else:
+            value = env_value
+        value = max(lo, min(hi, value))
+        var = self.variables.get(name)
+        if var is None:
+            var = sym_var(name, lo, hi)
+            self.variables[name] = var
+        self.concrete_values[name] = value
+        return ConcolicValue(value, var)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def assignment(self) -> Dict[str, int]:
+        """The concrete values actually used for every bound input."""
+
+        return dict(self.concrete_values)
+
+    def all_variables(self) -> List[SymVar]:
+        return list(self.variables.values())
+
+    def merged_with(self, solution: Mapping[str, int]) -> Dict[str, int]:
+        """Produce the override map for the *next* run: this run's values
+        updated with the solver's solution."""
+
+        merged = dict(self.concrete_values)
+        merged.update(self.overrides)
+        merged.update(solution)
+        return merged

@@ -1,0 +1,81 @@
+"""MiniC: the C-like language substrate used by every benchmark program.
+
+The paper instruments C programs through CIL.  This reproduction defines a
+small but expressive C-like language (MiniC) and performs every analysis and
+transformation on its AST:
+
+* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` — source text to AST,
+* :mod:`repro.lang.ast_nodes` — the AST node classes and visitors,
+* :mod:`repro.lang.cfg` — per-function control-flow graphs and the canonical
+  enumeration of *branch locations* used by all instrumentation methods,
+* :mod:`repro.lang.program` — the :class:`Program` container binding functions,
+  globals, branch locations and source text together.
+"""
+
+from repro.lang.ast_nodes import (
+    ArrayIndex,
+    Assign,
+    BinaryOp,
+    Block,
+    Break,
+    Call,
+    CharLiteral,
+    Continue,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GlobalDecl,
+    Identifier,
+    IfStmt,
+    IntLiteral,
+    Node,
+    Param,
+    ReturnStmt,
+    StringLiteral,
+    UnaryOp,
+    VarDecl,
+    WhileStmt,
+)
+from repro.lang.cfg import BranchLocation, ControlFlowGraph, build_cfg
+from repro.lang.errors import LexError, MiniCError, ParseError
+from repro.lang.lexer import Lexer, Token, TokenType, tokenize
+from repro.lang.parser import Parser, parse_program
+from repro.lang.program import Program
+
+__all__ = [
+    "ArrayIndex",
+    "Assign",
+    "BinaryOp",
+    "Block",
+    "BranchLocation",
+    "Break",
+    "Call",
+    "CharLiteral",
+    "Continue",
+    "ControlFlowGraph",
+    "ExprStmt",
+    "ForStmt",
+    "FunctionDef",
+    "GlobalDecl",
+    "Identifier",
+    "IfStmt",
+    "IntLiteral",
+    "Lexer",
+    "LexError",
+    "MiniCError",
+    "Node",
+    "Param",
+    "ParseError",
+    "Parser",
+    "Program",
+    "ReturnStmt",
+    "StringLiteral",
+    "Token",
+    "TokenType",
+    "UnaryOp",
+    "VarDecl",
+    "WhileStmt",
+    "build_cfg",
+    "parse_program",
+    "tokenize",
+]

@@ -1,0 +1,295 @@
+"""Lexer for MiniC.
+
+The token stream is deliberately close to C: identifiers, integer and character
+literals, string literals with the usual escapes, the full set of operators the
+parser understands, and ``//`` / ``/* */`` comments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.lang.errors import LexError
+
+KEYWORDS = {
+    "int",
+    "char",
+    "void",
+    "long",
+    "unsigned",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "struct",
+    "sizeof",
+}
+
+# Multi-character operators must be listed longest-first so the lexer always
+# prefers the longest match.
+_OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "->",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+]
+
+_ESCAPES = {
+    "n": ord("\n"),
+    "t": ord("\t"),
+    "r": ord("\r"),
+    "0": 0,
+    "\\": ord("\\"),
+    "'": ord("'"),
+    '"': ord('"'),
+    "a": 7,
+    "b": 8,
+    "f": 12,
+    "v": 11,
+}
+
+
+class TokenType(enum.Enum):
+    """Categories of MiniC tokens."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    CHAR = "char"
+    STRING = "string"
+    OP = "op"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    type: TokenType
+    value: object
+    line: int
+    column: int
+
+    def is_op(self, *ops: str) -> bool:
+        return self.type is TokenType.OP and self.value in ops
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Converts MiniC source text into a list of :class:`Token` objects."""
+
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low level helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _error(self, message: str) -> LexError:
+        return LexError(message, self.line, self.column)
+
+    # -- token producers -----------------------------------------------------
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while True:
+            ch = self._peek()
+            if ch and ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._peek() and not (self._peek() == "*" and self._peek(1) == "/"):
+                    self._advance()
+                if not self._peek():
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+            elif ch == "#":
+                # Preprocessor-style lines are accepted and ignored, which lets
+                # workload sources keep familiar-looking ``#include`` lines.
+                while self._peek() and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        text = ""
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            text = "0x"
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                text += self._peek()
+                self._advance()
+            if text == "0x":
+                raise self._error("malformed hexadecimal literal")
+            return Token(TokenType.INT, int(text, 16), line, column)
+        while self._peek().isdigit():
+            text += self._peek()
+            self._advance()
+        return Token(TokenType.INT, int(text), line, column)
+
+    def _lex_identifier(self) -> Token:
+        line, column = self.line, self.column
+        text = ""
+        while self._peek().isalnum() or self._peek() == "_":
+            text += self._peek()
+            self._advance()
+        if text in KEYWORDS:
+            return Token(TokenType.KEYWORD, text, line, column)
+        return Token(TokenType.IDENT, text, line, column)
+
+    def _lex_escape(self) -> int:
+        self._advance()  # consume backslash
+        ch = self._peek()
+        if not ch:
+            raise self._error("unterminated escape sequence")
+        self._advance()
+        if ch == "x":
+            digits = ""
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF" and len(digits) < 2:
+                digits += self._peek()
+                self._advance()
+            if not digits:
+                raise self._error("malformed hex escape")
+            return int(digits, 16)
+        if ch in _ESCAPES:
+            return _ESCAPES[ch]
+        return ord(ch)
+
+    def _lex_char(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            code = self._lex_escape()
+        else:
+            if not self._peek():
+                raise self._error("unterminated character literal")
+            code = ord(self._peek())
+            self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return Token(TokenType.CHAR, code, line, column)
+
+    def _lex_string(self) -> Token:
+        line, column = self.line, self.column
+        self._advance()  # opening quote
+        chars: List[str] = []
+        while True:
+            ch = self._peek()
+            if not ch:
+                raise self._error("unterminated string literal")
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                chars.append(chr(self._lex_escape()))
+            else:
+                chars.append(ch)
+                self._advance()
+        return Token(TokenType.STRING, "".join(chars), line, column)
+
+    def _lex_operator(self) -> Token:
+        line, column = self.line, self.column
+        for op in _OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token(TokenType.OP, op, line, column)
+        raise self._error(f"unexpected character {self._peek()!r}")
+
+    # -- public API ------------------------------------------------------------
+
+    def tokens(self) -> List[Token]:
+        """Lex the whole source and return the token list (ending with EOF)."""
+
+        out: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            ch = self._peek()
+            if not ch:
+                out.append(Token(TokenType.EOF, None, self.line, self.column))
+                return out
+            if ch.isdigit():
+                out.append(self._lex_number())
+            elif ch.isalpha() or ch == "_":
+                out.append(self._lex_identifier())
+            elif ch == "'":
+                out.append(self._lex_char())
+            elif ch == '"':
+                out.append(self._lex_string())
+            else:
+                out.append(self._lex_operator())
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex *source* and return its tokens."""
+
+    return Lexer(source).tokens()

@@ -1,0 +1,454 @@
+"""Recursive-descent parser for MiniC.
+
+The grammar is a practical subset of C sufficient for the workloads shipped
+with this reproduction (coreutils-style utilities, a diff implementation, and
+an event-driven web server):
+
+* function definitions and global variable declarations,
+* ``int`` / ``char`` / ``void`` base types with arbitrary pointer depth,
+* local declarations with optional array size and initialiser,
+* ``if``/``else``, ``while``, ``for``, ``break``, ``continue``, ``return``,
+* assignments (``=``, ``+=``, ``-=``, ``*=``, ``/=``, ``%=``), pre/post
+  increment and decrement,
+* the usual C expression grammar including ``?:``, short-circuit ``&&``/``||``,
+  array indexing, address-of, dereference, and function calls.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.ast_nodes import (
+    ArrayIndex,
+    Assign,
+    AssignExpr,
+    BinaryOp,
+    Block,
+    Break,
+    Call,
+    CharLiteral,
+    Continue,
+    Declarator,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    FunctionDef,
+    GlobalDecl,
+    Identifier,
+    IfStmt,
+    IntLiteral,
+    Param,
+    ReturnStmt,
+    Stmt,
+    StringLiteral,
+    TernaryOp,
+    TranslationUnit,
+    TypeName,
+    UnaryOp,
+    VarDecl,
+    WhileStmt,
+)
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, TokenType, tokenize
+
+_TYPE_KEYWORDS = {"int", "char", "void", "long", "unsigned"}
+_COMPOUND_ASSIGN = {"=", "+=", "-=", "*=", "/=", "%="}
+
+
+class Parser:
+    """Parses a token stream into a :class:`TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(f"{message}, got {token.value!r}", token.line, token.column)
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._peek()
+        if not token.is_op(op):
+            raise self._error(f"expected {op!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.IDENT:
+            raise self._error("expected identifier")
+        return self._advance()
+
+    def _at_type(self) -> bool:
+        return self._peek().is_keyword(*_TYPE_KEYWORDS)
+
+    # -- top level ---------------------------------------------------------------
+
+    def parse(self) -> TranslationUnit:
+        """Parse the whole token stream."""
+
+        unit = TranslationUnit(line=1, column=1)
+        while self._peek().type is not TokenType.EOF:
+            item = self._parse_top_level()
+            unit.items.append(item)
+            if isinstance(item, FunctionDef):
+                unit.functions.append(item)
+            else:
+                unit.globals.append(item)
+        return unit
+
+    def _parse_top_level(self):
+        start = self._peek()
+        type_name = self._parse_type()
+        name_token = self._expect_ident()
+        if self._peek().is_op("("):
+            return self._parse_function(type_name, name_token, start)
+        decl = self._parse_var_decl_tail(type_name, name_token, start)
+        return GlobalDecl(decl=decl, line=start.line, column=start.column)
+
+    def _parse_type(self) -> TypeName:
+        token = self._peek()
+        if not token.is_keyword(*_TYPE_KEYWORDS):
+            raise self._error("expected type name")
+        base_parts = []
+        while self._peek().is_keyword(*_TYPE_KEYWORDS):
+            base_parts.append(self._advance().value)
+        depth = 0
+        while self._peek().is_op("*"):
+            self._advance()
+            depth += 1
+        return TypeName(base=" ".join(base_parts), pointer_depth=depth,
+                        line=token.line, column=token.column)
+
+    def _parse_function(self, return_type: TypeName, name_token: Token,
+                        start: Token) -> FunctionDef:
+        self._expect_op("(")
+        params: List[Param] = []
+        if self._peek().is_keyword("void") and self._peek(1).is_op(")"):
+            self._advance()
+        elif not self._peek().is_op(")"):
+            while True:
+                p_start = self._peek()
+                p_type = self._parse_type()
+                p_name = self._expect_ident()
+                # Accept trailing [] on parameters (arrays decay to pointers).
+                while self._peek().is_op("["):
+                    self._advance()
+                    if not self._peek().is_op("]"):
+                        self._advance()
+                    self._expect_op("]")
+                    p_type = TypeName(p_type.base, p_type.pointer_depth + 1,
+                                      line=p_type.line, column=p_type.column)
+                params.append(Param(type_name=p_type, name=p_name.value,
+                                    line=p_start.line, column=p_start.column))
+                if self._peek().is_op(","):
+                    self._advance()
+                    continue
+                break
+        self._expect_op(")")
+        body = self._parse_block()
+        return FunctionDef(return_type=return_type, name=name_token.value,
+                           params=params, body=body,
+                           line=start.line, column=start.column)
+
+    # -- statements ----------------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        open_tok = self._expect_op("{")
+        statements: List[Stmt] = []
+        while not self._peek().is_op("}"):
+            if self._peek().type is TokenType.EOF:
+                raise self._error("unterminated block")
+            statements.append(self._parse_statement())
+        self._expect_op("}")
+        return Block(statements=statements, line=open_tok.line, column=open_tok.column)
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.is_op("{"):
+            return self._parse_block()
+        if token.is_op(";"):
+            self._advance()
+            return Block(statements=[], line=token.line, column=token.column)
+        if self._at_type():
+            return self._parse_local_decl()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("while"):
+            return self._parse_while()
+        if token.is_keyword("for"):
+            return self._parse_for()
+        if token.is_keyword("return"):
+            self._advance()
+            value: Optional[Expr] = None
+            if not self._peek().is_op(";"):
+                value = self._parse_expression()
+            self._expect_op(";")
+            return ReturnStmt(value=value, line=token.line, column=token.column)
+        if token.is_keyword("break"):
+            self._advance()
+            self._expect_op(";")
+            return Break(line=token.line, column=token.column)
+        if token.is_keyword("continue"):
+            self._advance()
+            self._expect_op(";")
+            return Continue(line=token.line, column=token.column)
+        stmt = self._parse_expression_statement()
+        self._expect_op(";")
+        return stmt
+
+    def _parse_local_decl(self) -> VarDecl:
+        start = self._peek()
+        type_name = self._parse_type()
+        name_token = self._expect_ident()
+        return self._parse_var_decl_tail(type_name, name_token, start)
+
+    def _parse_var_decl_tail(self, type_name: TypeName, first_name: Token,
+                             start: Token) -> VarDecl:
+        declarators = [self._parse_declarator(first_name)]
+        while self._peek().is_op(","):
+            self._advance()
+            # Subsequent declarators may carry their own pointer stars.
+            while self._peek().is_op("*"):
+                self._advance()
+            declarators.append(self._parse_declarator(self._expect_ident()))
+        self._expect_op(";")
+        return VarDecl(type_name=type_name, declarators=declarators,
+                       line=start.line, column=start.column)
+
+    def _parse_declarator(self, name_token: Token) -> Declarator:
+        decl = Declarator(name=name_token.value, line=name_token.line,
+                          column=name_token.column)
+        if self._peek().is_op("["):
+            self._advance()
+            decl.is_array = True
+            if not self._peek().is_op("]"):
+                decl.array_size = self._parse_expression()
+            self._expect_op("]")
+        if self._peek().is_op("="):
+            self._advance()
+            decl.init = self._parse_expression()
+        return decl
+
+    def _parse_if(self) -> IfStmt:
+        token = self._advance()  # 'if'
+        self._expect_op("(")
+        cond = self._parse_expression()
+        self._expect_op(")")
+        then = self._parse_statement()
+        otherwise: Optional[Stmt] = None
+        if self._peek().is_keyword("else"):
+            self._advance()
+            otherwise = self._parse_statement()
+        return IfStmt(cond=cond, then=then, otherwise=otherwise,
+                      line=token.line, column=token.column)
+
+    def _parse_while(self) -> WhileStmt:
+        token = self._advance()  # 'while'
+        self._expect_op("(")
+        cond = self._parse_expression()
+        self._expect_op(")")
+        body = self._parse_statement()
+        return WhileStmt(cond=cond, body=body, line=token.line, column=token.column)
+
+    def _parse_for(self) -> ForStmt:
+        token = self._advance()  # 'for'
+        self._expect_op("(")
+        init: Optional[Stmt] = None
+        if self._peek().is_op(";"):
+            self._advance()
+        elif self._at_type():
+            init = self._parse_local_decl()
+        else:
+            init = self._parse_expression_statement()
+            self._expect_op(";")
+        cond: Optional[Expr] = None
+        if not self._peek().is_op(";"):
+            cond = self._parse_expression()
+        self._expect_op(";")
+        update: Optional[Stmt] = None
+        if not self._peek().is_op(")"):
+            update = self._parse_expression_statement()
+        self._expect_op(")")
+        body = self._parse_statement()
+        return ForStmt(init=init, cond=cond, update=update, body=body,
+                       line=token.line, column=token.column)
+
+    def _parse_expression_statement(self) -> Stmt:
+        """Parse an assignment or expression used as a statement (no ``;``)."""
+
+        token = self._peek()
+        expr = self._parse_expression()
+        if isinstance(expr, AssignExpr):
+            return Assign(target=expr.target, value=expr.value, op="=",
+                          line=token.line, column=token.column)
+        return ExprStmt(expr=expr, line=token.line, column=token.column)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> Expr:
+        left = self._parse_ternary()
+        token = self._peek()
+        if token.type is TokenType.OP and token.value in _COMPOUND_ASSIGN:
+            op = self._advance().value
+            right = self._parse_assignment()
+            if op != "=":
+                # Desugar ``a += b`` into ``a = a + b`` so downstream passes
+                # only ever see plain assignments.
+                right = BinaryOp(op=op[0], left=left, right=right,
+                                 line=token.line, column=token.column)
+            return AssignExpr(target=left, value=right,
+                              line=token.line, column=token.column)
+        return left
+
+    def _parse_ternary(self) -> Expr:
+        cond = self._parse_logical_or()
+        if self._peek().is_op("?"):
+            token = self._advance()
+            then = self._parse_expression()
+            self._expect_op(":")
+            otherwise = self._parse_assignment()
+            return TernaryOp(cond=cond, then=then, otherwise=otherwise,
+                             line=token.line, column=token.column)
+        return cond
+
+    def _parse_binary_level(self, operators, next_level) -> Expr:
+        left = next_level()
+        while self._peek().type is TokenType.OP and self._peek().value in operators:
+            token = self._advance()
+            right = next_level()
+            left = BinaryOp(op=token.value, left=left, right=right,
+                            line=token.line, column=token.column)
+        return left
+
+    def _parse_logical_or(self) -> Expr:
+        return self._parse_binary_level({"||"}, self._parse_logical_and)
+
+    def _parse_logical_and(self) -> Expr:
+        return self._parse_binary_level({"&&"}, self._parse_bitwise)
+
+    def _parse_bitwise(self) -> Expr:
+        return self._parse_binary_level({"&", "|", "^"}, self._parse_equality)
+
+    def _parse_equality(self) -> Expr:
+        return self._parse_binary_level({"==", "!="}, self._parse_relational)
+
+    def _parse_relational(self) -> Expr:
+        return self._parse_binary_level({"<", "<=", ">", ">="}, self._parse_shift)
+
+    def _parse_shift(self) -> Expr:
+        return self._parse_binary_level({"<<", ">>"}, self._parse_additive)
+
+    def _parse_additive(self) -> Expr:
+        return self._parse_binary_level({"+", "-"}, self._parse_multiplicative)
+
+    def _parse_multiplicative(self) -> Expr:
+        return self._parse_binary_level({"*", "/", "%"}, self._parse_unary)
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.is_op("-", "!", "*", "&", "+", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return UnaryOp(op=token.value, operand=operand,
+                           line=token.line, column=token.column)
+        if token.is_op("++", "--"):
+            self._advance()
+            operand = self._parse_unary()
+            # Desugar ``++x`` into ``x = x + 1`` in expression position.
+            one = IntLiteral(value=1, line=token.line, column=token.column)
+            new_value = BinaryOp(op=token.value[0], left=operand, right=one,
+                                 line=token.line, column=token.column)
+            return AssignExpr(target=operand, value=new_value,
+                              line=token.line, column=token.column)
+        if token.is_keyword("sizeof"):
+            self._advance()
+            self._expect_op("(")
+            if self._at_type():
+                self._parse_type()
+            else:
+                self._parse_expression()
+            self._expect_op(")")
+            # All MiniC cells are one "word"; sizeof is constant 1 by design.
+            return IntLiteral(value=1, line=token.line, column=token.column)
+        if token.is_op("(") and self._peek(1).is_keyword(*_TYPE_KEYWORDS):
+            # Cast: parse and ignore the type, keep the operand expression.
+            self._advance()
+            self._parse_type()
+            self._expect_op(")")
+            return self._parse_unary()
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.is_op("["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect_op("]")
+                expr = ArrayIndex(base=expr, index=index,
+                                  line=token.line, column=token.column)
+            elif token.is_op("(") and isinstance(expr, Identifier):
+                self._advance()
+                args: List[Expr] = []
+                if not self._peek().is_op(")"):
+                    while True:
+                        args.append(self._parse_assignment())
+                        if self._peek().is_op(","):
+                            self._advance()
+                            continue
+                        break
+                self._expect_op(")")
+                expr = Call(name=expr.name, args=args,
+                            line=token.line, column=token.column)
+            elif token.is_op("++", "--"):
+                self._advance()
+                one = IntLiteral(value=1, line=token.line, column=token.column)
+                new_value = BinaryOp(op=token.value[0], left=expr, right=one,
+                                     line=token.line, column=token.column)
+                expr = AssignExpr(target=expr, value=new_value,
+                                  line=token.line, column=token.column)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type is TokenType.INT:
+            self._advance()
+            return IntLiteral(value=token.value, line=token.line, column=token.column)
+        if token.type is TokenType.CHAR:
+            self._advance()
+            return CharLiteral(value=token.value, line=token.line, column=token.column)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return StringLiteral(value=token.value, line=token.line, column=token.column)
+        if token.type is TokenType.IDENT:
+            self._advance()
+            return Identifier(name=token.value, line=token.line, column=token.column)
+        if token.is_op("("):
+            self._advance()
+            expr = self._parse_expression()
+            self._expect_op(")")
+            return expr
+        raise self._error("expected expression")
+
+
+def parse_program(source: str) -> TranslationUnit:
+    """Lex and parse *source*, returning the :class:`TranslationUnit` root."""
+
+    return Parser(tokenize(source)).parse()

@@ -1,0 +1,32 @@
+"""A simulated operating system substrate.
+
+The paper's benchmarks run on Linux and interact with the kernel through
+syscalls whose results are a principal source of non-determinism (``read``
+return values, the set of descriptors ready after ``select``).  This package
+provides an in-memory equivalent with exactly the properties the paper's
+syscall-logging tradeoff depends on:
+
+* an in-memory :class:`~repro.osmodel.filesystem.FileSystem`,
+* a :class:`~repro.osmodel.network.NetworkModel` that delivers scripted client
+  connections and request bytes (the httperf analogue feeds this),
+* a :class:`~repro.osmodel.kernel.Kernel` exposing the syscall layer the MiniC
+  builtins call into, recording a :class:`~repro.osmodel.syscalls.SyscallEvent`
+  for every call so the instrumentation layer can decide what to log.
+"""
+
+from repro.osmodel.filesystem import FileSystem, SimulatedFile
+from repro.osmodel.kernel import Kernel, KernelConfig
+from repro.osmodel.network import Connection, NetworkModel, NetworkScript
+from repro.osmodel.syscalls import SyscallEvent, SyscallKind
+
+__all__ = [
+    "Connection",
+    "FileSystem",
+    "Kernel",
+    "KernelConfig",
+    "NetworkModel",
+    "NetworkScript",
+    "SimulatedFile",
+    "SyscallEvent",
+    "SyscallKind",
+]

@@ -1,0 +1,24 @@
+"""Bug reproduction: bitvector-guided concolic replay (§3 of the paper).
+
+Given the instrumentation plan (kept by the developer), the branch bitvector
+and optional syscall-result log received with a bug report, and the crash site
+from the report, the replay engine searches for a program input that drives
+execution to the same crash.  The partial branch trace prunes the search: a
+run is aborted as soon as it deviates from the recorded path, and alternatives
+are explored through a pending list of constraint sets.
+"""
+
+from repro.replay.budget import ReplayBudget
+from repro.replay.engine import ReplayEngine, ReplayOutcome
+from repro.replay.hooks import ReplayRunHooks, RunDeviation
+from repro.replay.pending import PendingList, PendingItem
+
+__all__ = [
+    "PendingItem",
+    "PendingList",
+    "ReplayBudget",
+    "ReplayEngine",
+    "ReplayOutcome",
+    "ReplayRunHooks",
+    "RunDeviation",
+]

@@ -1,0 +1,227 @@
+"""The replay engine: searching for an input that reproduces the crash.
+
+The engine repeatedly runs the program in ``REPLAY`` mode.  Each run is driven
+by a concrete input assignment produced by the constraint solver; the
+:class:`~repro.replay.hooks.ReplayRunHooks` compare the run against the
+recorded bitvector and either let it reach the crash or abort it and schedule
+alternative constraint sets on the pending list.  Reproduction succeeds when a
+run crashes at the recorded crash site; the input assignment of that run is
+the "set of inputs that activate the bug" the paper promises the developer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.environment import Environment
+from repro.instrument.logger import BitvectorLog, SyscallResultLog
+from repro.instrument.plan import InstrumentationPlan
+from repro.interp.inputs import ExecutionMode, InputBinder
+from repro.interp.interpreter import (
+    CrashSite,
+    ExecutionConfig,
+    ExecutionResult,
+    Interpreter,
+)
+from repro.lang.program import Program
+from repro.osmodel.syscalls import SyscallKind
+from repro.replay.budget import ReplayBudget
+from repro.replay.hooks import ReplayRunHooks
+from repro.replay.pending import PendingItem, PendingList
+from repro.symbolic.constraints import ConstraintSet
+from repro.symbolic.solver import solve
+
+
+@dataclass
+class ReplayRunRecord:
+    """Summary of one replay run (kept for diagnostics and tests)."""
+
+    index: int
+    outcome: str  # "reproduced" | "aborted" | "finished" | "crashed-elsewhere" | "step-limit"
+    consumed_bits: int
+    constraints: int
+    deviation: str = ""
+
+
+@dataclass
+class ReplayOutcome:
+    """Result of a bug-reproduction attempt."""
+
+    reproduced: bool
+    runs: int = 0
+    wall_seconds: float = 0.0
+    timed_out: bool = False
+    crash_site: Optional[CrashSite] = None
+    found_input: Dict[str, int] = field(default_factory=dict)
+    solver_calls: int = 0
+    pending_stats: Dict[str, int] = field(default_factory=dict)
+    run_records: List[ReplayRunRecord] = field(default_factory=list)
+    symbolic_logged_locations: int = 0
+    symbolic_logged_executions: int = 0
+    symbolic_not_logged_locations: int = 0
+    symbolic_not_logged_executions: int = 0
+
+    @property
+    def replay_time(self) -> float:
+        """Replay time in seconds, the paper's Table 3/5/6 metric."""
+
+        return self.wall_seconds
+
+    def summary(self) -> str:
+        status = "reproduced" if self.reproduced else (
+            "timed out" if self.timed_out else "not reproduced")
+        return (f"{status} after {self.runs} runs in {self.wall_seconds:.2f}s "
+                f"({self.symbolic_not_logged_locations} unlogged symbolic locations)")
+
+
+class ReplayEngine:
+    """Searches for an input reproducing a recorded crash."""
+
+    def __init__(self, program: Program, plan: InstrumentationPlan,
+                 bitvector: BitvectorLog,
+                 syscall_log: Optional[SyscallResultLog],
+                 crash_site: Optional[CrashSite],
+                 environment: Environment,
+                 budget: Optional[ReplayBudget] = None,
+                 search_order: str = "dfs",
+                 require_full_log_match: bool = True) -> None:
+        self.program = program
+        self.plan = plan
+        self.bitvector = bitvector
+        self.syscall_log = syscall_log
+        self.crash_site = crash_site
+        self.environment = environment
+        self.budget = budget or ReplayBudget()
+        self.search_order = search_order
+        # When True (the default), a run only counts as a reproduction if it
+        # crashes at the recorded site *and* its instrumented branch directions
+        # match the recorded bitvector exactly.  This is what "finding the
+        # direction of all branches taken so that they lead the execution to
+        # the bug" means for externally-induced crashes (the uServer SIGSEGV
+        # scenarios), where the crash location alone carries no information.
+        self.require_full_log_match = require_full_log_match
+
+    # -- public API -----------------------------------------------------------------------
+
+    def reproduce(self) -> ReplayOutcome:
+        """Run the guided search until the bug is reproduced or the budget ends."""
+
+        start = time.monotonic()
+        outcome = ReplayOutcome(reproduced=False)
+        pending = PendingList(order=self.search_order, max_size=self.budget.max_pending)
+        pending.push(PendingItem(ConstraintSet(), hint={}, reason="initial run"))
+
+        while True:
+            if outcome.runs >= self.budget.max_runs:
+                outcome.timed_out = True
+                break
+            if time.monotonic() - start > self.budget.max_seconds:
+                outcome.timed_out = True
+                break
+            item = pending.pop()
+            if item is None:
+                # Nothing left to explore: the search failed outright.
+                break
+
+            overrides = self._solve_item(item, outcome)
+            if overrides is None:
+                continue
+
+            hooks, result, binder = self._run_once(overrides)
+            record = self._classify_run(outcome.runs, hooks, result)
+            outcome.runs += 1
+            outcome.run_records.append(record)
+            self._update_not_logged(outcome, hooks)
+
+            if record.outcome == "reproduced":
+                outcome.reproduced = True
+                outcome.crash_site = result.crash
+                outcome.found_input = binder.assignment()
+                break
+
+            # Merge the alternatives this run discovered.
+            for constraints, reason in hooks.alternatives:
+                pending.push(PendingItem(constraints=constraints,
+                                         hint=binder.assignment(),
+                                         depth=len(constraints),
+                                         origin_run=outcome.runs,
+                                         reason=reason))
+
+        outcome.wall_seconds = time.monotonic() - start
+        outcome.pending_stats = pending.stats()
+        return outcome
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _solve_item(self, item: PendingItem, outcome: ReplayOutcome) -> Optional[Dict[str, int]]:
+        if len(item.constraints) == 0:
+            return dict(item.hint)
+        solution = solve(item.constraints, hint=item.hint)
+        outcome.solver_calls += 1
+        if not solution.satisfiable or solution.assignment is None:
+            return None
+        merged = dict(item.hint)
+        merged.update(solution.assignment)
+        return merged
+
+    def _run_once(self, overrides: Dict[str, int]):
+        kernel = self.environment.make_kernel()
+        binder = InputBinder(mode=ExecutionMode.REPLAY, overrides=dict(overrides))
+        hooks = ReplayRunHooks(self.plan, self.bitvector)
+        provider = None
+        if self.plan.log_syscalls and self.syscall_log is not None:
+            cursor = self.syscall_log.cursor()
+
+            def provider(kind: SyscallKind, _cursor=cursor) -> Optional[int]:
+                return _cursor.next_result(kind)
+
+        config = ExecutionConfig(mode=ExecutionMode.REPLAY,
+                                 max_steps=self.budget.max_steps_per_run,
+                                 syscall_result_provider=provider)
+        interpreter = Interpreter(self.program, kernel=kernel, hooks=hooks,
+                                  binder=binder, config=config)
+        result = interpreter.run(self.environment.argv)
+        return hooks, result, binder
+
+    def _classify_run(self, index: int, hooks: ReplayRunHooks,
+                      result: ExecutionResult) -> ReplayRunRecord:
+        deviation = hooks.deviation.kind if hooks.deviation else ""
+        if result.aborted:
+            outcome = "aborted"
+        elif result.step_limit_hit:
+            outcome = "step-limit"
+        elif result.crashed and self._matches_crash(result):
+            full_match = (hooks.deviation is None
+                          and hooks.consumed_bits() == len(self.bitvector))
+            if full_match or not self.require_full_log_match:
+                outcome = "reproduced"
+            else:
+                outcome = "crashed-partial-match"
+        elif result.crashed:
+            outcome = "crashed-elsewhere"
+        else:
+            outcome = "finished"
+        return ReplayRunRecord(index=index, outcome=outcome,
+                               consumed_bits=hooks.consumed_bits(),
+                               constraints=len(hooks.run_constraints),
+                               deviation=deviation)
+
+    def _matches_crash(self, result: ExecutionResult) -> bool:
+        if result.crash is None:
+            return False
+        if self.crash_site is None:
+            return True
+        return result.crash.same_location(self.crash_site)
+
+    @staticmethod
+    def _update_not_logged(outcome: ReplayOutcome, hooks: ReplayRunHooks) -> None:
+        outcome.symbolic_logged_locations = max(outcome.symbolic_logged_locations,
+                                                len(hooks.symbolic_logged))
+        outcome.symbolic_logged_executions = max(outcome.symbolic_logged_executions,
+                                                 sum(hooks.symbolic_logged.values()))
+        outcome.symbolic_not_logged_locations = max(outcome.symbolic_not_logged_locations,
+                                                    len(hooks.symbolic_not_logged))
+        outcome.symbolic_not_logged_executions = max(outcome.symbolic_not_logged_executions,
+                                                     sum(hooks.symbolic_not_logged.values()))

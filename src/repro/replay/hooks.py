@@ -1,0 +1,128 @@
+"""Per-run replay hooks: the four branch cases of §3.1.
+
+For every executed branch the hooks decide, based on whether the branch is
+symbolic (its condition carries input) and whether it is instrumented (present
+in the plan), one of:
+
+1. **symbolic, not instrumented** — record the taken direction in the run's
+   constraint set and push the untaken alternative onto the pending list;
+2. **symbolic, instrumented** — compare against the next bit of the recorded
+   bitvector; on a match record the constraint and continue, on a mismatch
+   push "follow the recorded direction" onto the pending list and abort;
+3. **concrete, instrumented** — compare against the next bit; a mismatch means
+   an earlier uninstrumented symbolic branch went the wrong way, so abort;
+4. **concrete, not instrumented** — continue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.instrument.logger import BitvectorLog
+from repro.instrument.plan import InstrumentationPlan
+from repro.interp.interpreter import AbortRun
+from repro.interp.tracer import BranchEvent, ExecutionHooks
+from repro.lang.cfg import BranchLocation
+from repro.symbolic.constraints import Constraint, ConstraintSet
+
+
+@dataclass
+class RunDeviation:
+    """Why a replay run was aborted."""
+
+    kind: str  # "symbolic-mismatch" | "concrete-mismatch" | "log-exhausted"
+    location: Optional[BranchLocation] = None
+    bit_index: int = 0
+
+
+class ReplayRunHooks(ExecutionHooks):
+    """Observes one replay run and applies the four-case policy."""
+
+    def __init__(self, plan: InstrumentationPlan, bitvector: BitvectorLog) -> None:
+        self.plan = plan
+        self.bitvector = bitvector
+        self.cursor = 0
+        self.run_constraints = ConstraintSet()
+        # Alternatives discovered during this run, to be merged into the
+        # engine's pending list: (constraint set, reason).
+        self.alternatives: List[tuple] = []
+        self.deviation: Optional[RunDeviation] = None
+        self.branch_executions = 0
+        self.symbolic_not_logged: Dict[BranchLocation, int] = {}
+        self.symbolic_logged: Dict[BranchLocation, int] = {}
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _next_bit(self, event: BranchEvent) -> Optional[bool]:
+        if self.cursor >= len(self.bitvector):
+            self.deviation = RunDeviation("log-exhausted", event.location, self.cursor)
+            raise AbortRun("recorded branch log exhausted")
+        bit = self.bitvector[self.cursor]
+        self.cursor += 1
+        return bit
+
+    def _push_alternative(self, constraints: ConstraintSet, reason: str) -> None:
+        self.alternatives.append((constraints, reason))
+
+    # -- the four cases ------------------------------------------------------------------
+
+    def on_branch(self, event: BranchEvent) -> None:
+        self.branch_executions += 1
+        instrumented = self.plan.is_instrumented(event.location)
+        if event.symbolic and event.condition is not None:
+            if instrumented:
+                self.symbolic_logged[event.location] = (
+                    self.symbolic_logged.get(event.location, 0) + 1)
+                self._symbolic_instrumented(event)
+            else:
+                self.symbolic_not_logged[event.location] = (
+                    self.symbolic_not_logged.get(event.location, 0) + 1)
+                self._symbolic_uninstrumented(event)
+        else:
+            if instrumented:
+                self._concrete_instrumented(event)
+            # Case 4 (concrete, not instrumented): nothing to do.
+
+    def _symbolic_uninstrumented(self, event: BranchEvent) -> None:
+        taken_constraint = Constraint(event.condition,
+                                      origin=event.location.node_id,
+                                      description=event.location.short())
+        alternative = self.run_constraints.extended(taken_constraint.negated())
+        self._push_alternative(alternative, "unlogged symbolic branch")
+        self.run_constraints.add(taken_constraint)
+
+    def _symbolic_instrumented(self, event: BranchEvent) -> None:
+        recorded_taken = self._next_bit(event)
+        taken_constraint = Constraint(event.condition,
+                                      origin=event.location.node_id,
+                                      description=event.location.short())
+        if recorded_taken == event.taken:
+            self.run_constraints.add(taken_constraint)
+            return
+        # The recorded execution went the other way: schedule a constraint set
+        # that forces the recorded direction, then abort this run.
+        forced = self.run_constraints.extended(taken_constraint.negated())
+        self._push_alternative(forced, "bitvector mismatch at symbolic branch")
+        self.deviation = RunDeviation("symbolic-mismatch", event.location, self.cursor - 1)
+        raise AbortRun(f"bitvector mismatch at {event.location.short()}")
+
+    def _concrete_instrumented(self, event: BranchEvent) -> None:
+        recorded_taken = self._next_bit(event)
+        if recorded_taken == event.taken:
+            return
+        # A concrete branch cannot disagree with the log unless an earlier
+        # uninstrumented symbolic branch sent the run down the wrong path.
+        self.deviation = RunDeviation("concrete-mismatch", event.location, self.cursor - 1)
+        raise AbortRun(f"concrete branch deviated at {event.location.short()}")
+
+    # -- statistics --------------------------------------------------------------------------
+
+    def consumed_bits(self) -> int:
+        return self.cursor
+
+    def not_logged_summary(self) -> Dict[str, int]:
+        return {
+            "locations": len(self.symbolic_not_logged),
+            "executions": sum(self.symbolic_not_logged.values()),
+        }

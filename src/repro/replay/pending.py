@@ -1,0 +1,75 @@
+"""The pending list of unexplored constraint sets (§3.1).
+
+Whenever replay encounters an alternative it does not follow (an uninstrumented
+symbolic branch, or a mismatch against the recorded bitvector), it pushes a
+constraint set describing the unexplored direction onto the pending list.  When
+a run aborts, the engine pops an entry, solves it, and starts a new run with
+the resulting input.  The paper uses a depth-first order; breadth-first is
+provided for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.symbolic.constraints import ConstraintSet
+
+
+@dataclass
+class PendingItem:
+    """One unexplored alternative path."""
+
+    constraints: ConstraintSet
+    hint: Dict[str, int] = field(default_factory=dict)
+    depth: int = 0
+    origin_run: int = 0
+    reason: str = ""
+
+    def signature(self) -> Tuple:
+        return tuple((c.origin, str(c.expr)) for c in self.constraints)
+
+
+class PendingList:
+    """A de-duplicating stack/queue of :class:`PendingItem` objects."""
+
+    def __init__(self, order: str = "dfs", max_size: int = 5_000) -> None:
+        if order not in ("dfs", "bfs"):
+            raise ValueError("order must be 'dfs' or 'bfs'")
+        self.order = order
+        self.max_size = max_size
+        self._items: List[PendingItem] = []
+        self._seen: Set[Tuple] = set()
+        self.dropped = 0
+        self.duplicates = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, item: PendingItem) -> bool:
+        """Add an item unless it duplicates one already scheduled."""
+
+        signature = item.signature()
+        if signature in self._seen:
+            self.duplicates += 1
+            return False
+        if len(self._items) >= self.max_size:
+            self.dropped += 1
+            return False
+        self._seen.add(signature)
+        self._items.append(item)
+        return True
+
+    def pop(self) -> Optional[PendingItem]:
+        if not self._items:
+            return None
+        if self.order == "dfs":
+            return self._items.pop()
+        return self._items.pop(0)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"pending": len(self._items), "dropped": self.dropped,
+                "duplicates": self.duplicates}

@@ -1,0 +1,44 @@
+"""Symbolic expressions, path constraints and a small-domain constraint solver.
+
+This package is the substrate under both the concolic engine (dynamic analysis)
+and the replay engine.  The paper's inputs are argv bytes and request bytes, so
+symbolic variables here are bounded integers (bytes by default) and the solver
+is a propagation + backtracking search over those bounded domains.
+"""
+
+from repro.symbolic.expr import (
+    SymBinOp,
+    SymConst,
+    SymExpr,
+    SymUnOp,
+    SymVar,
+    sym_and,
+    sym_bin,
+    sym_const,
+    sym_not,
+    sym_var,
+)
+from repro.symbolic.simplify import evaluate, simplify, variables
+from repro.symbolic.constraints import Constraint, ConstraintSet
+from repro.symbolic.solver import SolverResult, SolverStats, solve
+
+__all__ = [
+    "Constraint",
+    "ConstraintSet",
+    "SolverResult",
+    "SolverStats",
+    "SymBinOp",
+    "SymConst",
+    "SymExpr",
+    "SymUnOp",
+    "SymVar",
+    "evaluate",
+    "simplify",
+    "solve",
+    "sym_and",
+    "sym_bin",
+    "sym_const",
+    "sym_not",
+    "sym_var",
+    "variables",
+]

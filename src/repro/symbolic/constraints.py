@@ -1,0 +1,130 @@
+"""Constraint sets: ordered conjunctions of branch conditions.
+
+A :class:`ConstraintSet` corresponds to the paper's "constraint set associated
+with a run": the conjunction of the conditions for the branch directions taken
+so far.  The replay engine additionally keeps a list of *pending* constraint
+sets describing unexplored alternatives (see
+:mod:`repro.replay.pending`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.symbolic.expr import SymExpr, SymVar, sym_const
+from repro.symbolic.simplify import simplify, try_evaluate, variables
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A single boolean condition, tagged with where it came from.
+
+    ``origin`` records the branch location id (AST node id) whose evaluation
+    produced the condition, or 0 when the constraint came from a syscall model
+    or was synthesised by the solver front-end.
+    """
+
+    expr: SymExpr
+    origin: int = 0
+    description: str = ""
+
+    def negated(self) -> "Constraint":
+        return Constraint(self.expr.negated(), self.origin,
+                          description=f"not({self.description})" if self.description else "")
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+class ConstraintSet:
+    """An ordered, append-only conjunction of :class:`Constraint` objects."""
+
+    def __init__(self, constraints: Optional[Iterable[Constraint]] = None) -> None:
+        self._constraints: List[Constraint] = list(constraints or ())
+
+    # -- construction ----------------------------------------------------------
+
+    def add(self, constraint: Constraint) -> None:
+        """Append a constraint to the conjunction."""
+
+        self._constraints.append(constraint)
+
+    def add_expr(self, expr: SymExpr, origin: int = 0, description: str = "") -> None:
+        self.add(Constraint(simplify(expr), origin, description))
+
+    def extended(self, constraint: Constraint) -> "ConstraintSet":
+        """Return a copy of this set with one extra constraint appended."""
+
+        clone = ConstraintSet(self._constraints)
+        clone.add(constraint)
+        return clone
+
+    def copy(self) -> "ConstraintSet":
+        return ConstraintSet(self._constraints)
+
+    # -- introspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __getitem__(self, index: int) -> Constraint:
+        return self._constraints[index]
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    def expressions(self) -> List[SymExpr]:
+        return [c.expr for c in self._constraints]
+
+    def all_variables(self) -> List[SymVar]:
+        """Every variable referenced by the conjunction, deduplicated by name."""
+
+        seen = {}
+        for constraint in self._constraints:
+            for var in variables(constraint.expr):
+                seen.setdefault(var.name, var)
+        return list(seen.values())
+
+    def is_trivially_unsat(self) -> bool:
+        """True when some constraint simplifies to the constant 0."""
+
+        for constraint in self._constraints:
+            simplified = simplify(constraint.expr)
+            if simplified == sym_const(0):
+                return True
+        return False
+
+    def satisfied_by(self, assignment: Mapping[str, int]) -> bool:
+        """Check whether *assignment* satisfies every constraint.
+
+        Unassigned variables make the check return ``False`` (the assignment is
+        not a witness).
+        """
+
+        for constraint in self._constraints:
+            value = try_evaluate(constraint.expr, assignment)
+            if not value:
+                return False
+        return True
+
+    def prefix(self, length: int) -> "ConstraintSet":
+        """The conjunction of the first *length* constraints."""
+
+        return ConstraintSet(self._constraints[:length])
+
+    def with_negated_last(self) -> "ConstraintSet":
+        """Negate the final constraint (the classic concolic "flip")."""
+
+        if not self._constraints:
+            raise ValueError("cannot negate the last constraint of an empty set")
+        flipped = ConstraintSet(self._constraints[:-1])
+        flipped.add(self._constraints[-1].negated())
+        return flipped
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return " && ".join(str(c) for c in self._constraints) or "true"

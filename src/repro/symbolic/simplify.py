@@ -1,0 +1,230 @@
+"""Evaluation, simplification and variable extraction for symbolic expressions."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Mapping, Optional, Set
+
+from repro.symbolic.expr import (
+    ARITH_OPS,
+    BOOL_OPS,
+    COMPARE_OPS,
+    SymBinOp,
+    SymConst,
+    SymExpr,
+    SymUnOp,
+    SymVar,
+    as_condition,
+    sym_const,
+)
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style integer division: truncation towards zero."""
+
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C-style remainder: sign follows the dividend."""
+
+    return a - _c_div(a, b) * b
+
+
+def _apply_binary(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if b == 0:
+            raise ZeroDivisionError("symbolic evaluation divided by zero")
+        return _c_div(a, b)
+    if op == "%":
+        if b == 0:
+            raise ZeroDivisionError("symbolic evaluation modulo by zero")
+        return _c_mod(a, b)
+    if op == "<<":
+        return a << (b & 63)
+    if op == ">>":
+        return a >> (b & 63)
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "&&":
+        return int(bool(a) and bool(b))
+    if op == "||":
+        return int(bool(a) or bool(b))
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def _apply_unary(op: str, a: int) -> int:
+    if op == "-":
+        return -a
+    if op == "!":
+        return int(not a)
+    if op == "~":
+        return ~a
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def evaluate(expr: SymExpr, assignment: Mapping[str, int]) -> int:
+    """Evaluate *expr* under a full assignment of its variables.
+
+    Raises :class:`KeyError` if a variable is missing from the assignment.
+    """
+
+    if isinstance(expr, SymConst):
+        return expr.value
+    if isinstance(expr, SymVar):
+        return assignment[expr.name]
+    if isinstance(expr, SymUnOp):
+        return _apply_unary(expr.op, evaluate(expr.operand, assignment))
+    if isinstance(expr, SymBinOp):
+        # Short-circuit semantics mirror the interpreter's.
+        if expr.op == "&&":
+            left = evaluate(expr.left, assignment)
+            if not left:
+                return 0
+            return int(bool(evaluate(expr.right, assignment)))
+        if expr.op == "||":
+            left = evaluate(expr.left, assignment)
+            if left:
+                return 1
+            return int(bool(evaluate(expr.right, assignment)))
+        return _apply_binary(expr.op, evaluate(expr.left, assignment),
+                             evaluate(expr.right, assignment))
+    raise TypeError(f"not a symbolic expression: {expr!r}")
+
+
+def try_evaluate(expr: SymExpr, assignment: Mapping[str, int]) -> Optional[int]:
+    """Like :func:`evaluate` but returns ``None`` when a variable is unassigned
+    or the evaluation hits a division by zero."""
+
+    try:
+        return evaluate(expr, assignment)
+    except (KeyError, ZeroDivisionError):
+        return None
+
+
+def variables(expr: SymExpr) -> FrozenSet[SymVar]:
+    """Return the set of :class:`SymVar` nodes appearing in *expr*."""
+
+    found: Set[SymVar] = set()
+    _collect_variables(expr, found)
+    return frozenset(found)
+
+
+def _collect_variables(expr: SymExpr, out: Set[SymVar]) -> None:
+    if isinstance(expr, SymVar):
+        out.add(expr)
+    elif isinstance(expr, SymUnOp):
+        _collect_variables(expr.operand, out)
+    elif isinstance(expr, SymBinOp):
+        _collect_variables(expr.left, out)
+        _collect_variables(expr.right, out)
+
+
+def variable_names(expr: SymExpr) -> FrozenSet[str]:
+    """Names of variables appearing in *expr*."""
+
+    return frozenset(v.name for v in variables(expr))
+
+
+def simplify(expr: SymExpr) -> SymExpr:
+    """Structurally simplify *expr*: constant folding plus a few identities.
+
+    The simplifier is conservative — it never changes the value of the
+    expression under any assignment — and it is idempotent.
+    """
+
+    if isinstance(expr, (SymConst, SymVar)):
+        return expr
+    if isinstance(expr, SymUnOp):
+        operand = simplify(expr.operand)
+        if isinstance(operand, SymConst):
+            return sym_const(_apply_unary(expr.op, operand.value))
+        if expr.op == "!" and isinstance(operand, SymUnOp) and operand.op == "!":
+            inner = operand.operand
+            if inner.is_boolean():
+                return inner
+        if expr.op == "-" and isinstance(operand, SymUnOp) and operand.op == "-":
+            return operand.operand
+        return SymUnOp(expr.op, operand)
+    if isinstance(expr, SymBinOp):
+        left = simplify(expr.left)
+        right = simplify(expr.right)
+        if isinstance(left, SymConst) and isinstance(right, SymConst):
+            try:
+                return sym_const(_apply_binary(expr.op, left.value, right.value))
+            except ZeroDivisionError:
+                return SymBinOp(expr.op, left, right)
+        # Arithmetic identities.
+        if expr.op == "+":
+            if isinstance(left, SymConst) and left.value == 0:
+                return right
+            if isinstance(right, SymConst) and right.value == 0:
+                return left
+        if expr.op == "-" and isinstance(right, SymConst) and right.value == 0:
+            return left
+        if expr.op == "*":
+            for a, b in ((left, right), (right, left)):
+                if isinstance(a, SymConst):
+                    if a.value == 0:
+                        return sym_const(0)
+                    if a.value == 1:
+                        return b
+        # Boolean identities.  The result of && / || is always 0 or 1, so the
+        # surviving operand must be coerced to a boolean condition.
+        if expr.op == "&&":
+            if isinstance(left, SymConst):
+                return simplify(as_condition(right)) if left.value else sym_const(0)
+            if isinstance(right, SymConst):
+                return simplify(as_condition(left)) if right.value else sym_const(0)
+        if expr.op == "||":
+            if isinstance(left, SymConst):
+                return sym_const(1) if left.value else simplify(as_condition(right))
+            if isinstance(right, SymConst):
+                return sym_const(1) if right.value else simplify(as_condition(left))
+        # x == x, x != x and friends over identical subtrees.
+        if expr.op in COMPARE_OPS and left == right:
+            return sym_const(_apply_binary(expr.op, 0, 0))
+        return SymBinOp(expr.op, left, right)
+    raise TypeError(f"not a symbolic expression: {expr!r}")
+
+
+def substitute(expr: SymExpr, assignment: Mapping[str, int]) -> SymExpr:
+    """Replace any assigned variables with constants and simplify the result."""
+
+    if isinstance(expr, SymConst):
+        return expr
+    if isinstance(expr, SymVar):
+        if expr.name in assignment:
+            return sym_const(assignment[expr.name])
+        return expr
+    if isinstance(expr, SymUnOp):
+        return simplify(SymUnOp(expr.op, substitute(expr.operand, assignment)))
+    if isinstance(expr, SymBinOp):
+        return simplify(SymBinOp(expr.op,
+                                 substitute(expr.left, assignment),
+                                 substitute(expr.right, assignment)))
+    raise TypeError(f"not a symbolic expression: {expr!r}")

@@ -1,0 +1,325 @@
+"""A small-domain constraint solver for path constraints.
+
+The solver is intentionally simple — the paper relies on an off-the-shelf style
+solver for constraints over program inputs, and in our workloads those inputs
+are argv bytes, request bytes, and bounded syscall return values.  The solver
+therefore works over bounded integer domains with:
+
+1. constant-folding / trivial unsat detection,
+2. unary-constraint domain filtering (constraints mentioning a single
+   variable prune that variable's domain by enumeration),
+3. depth-first backtracking search with forward checking, value ordering that
+   prefers a caller-supplied *hint* assignment (the concrete input of the run
+   that produced the constraints — the "concolic" advantage discussed in §6 of
+   the paper), and a node budget so a pathological constraint set fails fast
+   instead of hanging the exploration loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.symbolic.constraints import Constraint, ConstraintSet
+from repro.symbolic.expr import SymBinOp, SymConst, SymExpr, SymUnOp, SymVar, sym_const
+from repro.symbolic.simplify import simplify, substitute, try_evaluate, variables
+
+_MAX_ENUMERABLE_DOMAIN = 4096
+_DEFAULT_NODE_BUDGET = 200_000
+
+
+@dataclass
+class SolverStats:
+    """Counters describing the work a single ``solve`` call performed."""
+
+    nodes: int = 0
+    propagations: int = 0
+    backtracks: int = 0
+    wall_seconds: float = 0.0
+    budget_exhausted: bool = False
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a ``solve`` call."""
+
+    satisfiable: bool
+    assignment: Optional[Dict[str, int]]
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+class _Domain:
+    """A candidate-value domain for one variable."""
+
+    def __init__(self, var: SymVar) -> None:
+        self.var = var
+        self.lo = var.lo
+        self.hi = var.hi
+        self.excluded: Set[int] = set()
+        # When a constraint pins the variable to a small candidate set, we
+        # switch to explicit enumeration.
+        self.candidates: Optional[Set[int]] = None
+
+    def size(self) -> int:
+        if self.candidates is not None:
+            return len(self.candidates)
+        return max(0, self.hi - self.lo + 1 - len(
+            {v for v in self.excluded if self.lo <= v <= self.hi}))
+
+    def is_empty(self) -> bool:
+        return self.size() == 0
+
+    def contains(self, value: int) -> bool:
+        if self.candidates is not None:
+            return value in self.candidates
+        return self.lo <= value <= self.hi and value not in self.excluded
+
+    def restrict_to(self, values: Iterable[int]) -> None:
+        allowed = {v for v in values if self.contains(v)}
+        self.candidates = allowed
+
+    def exclude(self, value: int) -> None:
+        if self.candidates is not None:
+            self.candidates.discard(value)
+        else:
+            self.excluded.add(value)
+
+    def iter_values(self, preferred: Sequence[int] = ()) -> Iterable[int]:
+        """Yield candidate values, preferred ones first."""
+
+        emitted: Set[int] = set()
+        for value in preferred:
+            if self.contains(value) and value not in emitted:
+                emitted.add(value)
+                yield value
+        if self.candidates is not None:
+            for value in sorted(self.candidates):
+                if value not in emitted:
+                    yield value
+            return
+        # Enumerate the interval; for wide domains fall back to a bounded scan
+        # around "interesting" points plus the interval edges.
+        width = self.hi - self.lo + 1
+        if width <= _MAX_ENUMERABLE_DOMAIN:
+            for value in range(self.lo, self.hi + 1):
+                if value not in self.excluded and value not in emitted:
+                    yield value
+            return
+        probes = [self.lo, self.lo + 1, 0, 1, -1, self.hi - 1, self.hi]
+        for value in probes:
+            if self.contains(value) and value not in emitted:
+                emitted.add(value)
+                yield value
+
+
+def _interesting_values(expr: SymExpr) -> Set[int]:
+    """Constants appearing in *expr*, plus their neighbours.
+
+    These are good candidate values for variables compared against them.
+    """
+
+    values: Set[int] = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SymConst):
+            values.update((node.value - 1, node.value, node.value + 1))
+        elif isinstance(node, SymUnOp):
+            stack.append(node.operand)
+        elif isinstance(node, SymBinOp):
+            stack.append(node.left)
+            stack.append(node.right)
+    return values
+
+
+class _Search:
+    """One backtracking search over the simplified constraints."""
+
+    def __init__(self, constraints: List[SymExpr], domains: Dict[str, _Domain],
+                 hint: Mapping[str, int], node_budget: int) -> None:
+        self.constraints = constraints
+        self.domains = domains
+        self.hint = dict(hint)
+        self.node_budget = node_budget
+        self.stats = SolverStats()
+        # Map variable name -> indices of constraints that mention it.
+        self.by_var: Dict[str, List[int]] = {name: [] for name in domains}
+        self.constraint_vars: List[FrozenSet[str]] = []
+        for index, expr in enumerate(constraints):
+            names = frozenset(v.name for v in variables(expr))
+            self.constraint_vars.append(names)
+            for name in names:
+                self.by_var.setdefault(name, []).append(index)
+        self.preferred: Dict[str, List[int]] = {name: [] for name in domains}
+        for name in domains:
+            if name in self.hint:
+                self.preferred[name].append(self.hint[name])
+        for index, expr in enumerate(constraints):
+            interesting = sorted(_interesting_values(expr))
+            for name in self.constraint_vars[index]:
+                self.preferred.setdefault(name, []).extend(interesting)
+
+    def run(self) -> Optional[Dict[str, int]]:
+        order = sorted(self.domains,
+                       key=lambda name: (self.domains[name].size(),
+                                         -len(self.by_var.get(name, ()))))
+        assignment: Dict[str, int] = {}
+        result = self._assign(order, 0, assignment)
+        return result
+
+    def _constraints_ok(self, assignment: Dict[str, int]) -> bool:
+        """Check every constraint whose variables are all assigned."""
+
+        assigned = set(assignment)
+        for index, expr in enumerate(self.constraints):
+            names = self.constraint_vars[index]
+            if names and not names.issubset(assigned):
+                continue
+            value = try_evaluate(expr, assignment)
+            if value is None or value == 0:
+                return False
+        return True
+
+    def _forward_check(self, order: List[str], depth: int,
+                       assignment: Dict[str, int]) -> bool:
+        """Cheap look-ahead: any unassigned var whose unary residue is unsat?"""
+
+        assigned = set(assignment)
+        for index, expr in enumerate(self.constraints):
+            names = self.constraint_vars[index]
+            remaining = names - assigned
+            if len(remaining) != 1:
+                continue
+            (free_name,) = remaining
+            domain = self.domains[free_name]
+            if domain.size() > 512:
+                continue
+            residual = substitute(expr, assignment)
+            self.stats.propagations += 1
+            feasible = False
+            for value in domain.iter_values(self.preferred.get(free_name, ())):
+                if try_evaluate(residual, {free_name: value}):
+                    feasible = True
+                    break
+            if not feasible:
+                return False
+        return True
+
+    def _assign(self, order: List[str], depth: int,
+                assignment: Dict[str, int]) -> Optional[Dict[str, int]]:
+        if self.stats.nodes >= self.node_budget:
+            self.stats.budget_exhausted = True
+            return None
+        if depth == len(order):
+            return dict(assignment) if self._constraints_ok(assignment) else None
+        name = order[depth]
+        domain = self.domains[name]
+        for value in domain.iter_values(self.preferred.get(name, ())):
+            self.stats.nodes += 1
+            if self.stats.nodes >= self.node_budget:
+                self.stats.budget_exhausted = True
+                return None
+            assignment[name] = value
+            if self._constraints_ok(assignment) and self._forward_check(order, depth, assignment):
+                result = self._assign(order, depth + 1, assignment)
+                if result is not None:
+                    return result
+            self.stats.backtracks += 1
+            del assignment[name]
+        return None
+
+
+def solve(constraint_set: ConstraintSet,
+          hint: Optional[Mapping[str, int]] = None,
+          extra_variables: Optional[Iterable[SymVar]] = None,
+          node_budget: int = _DEFAULT_NODE_BUDGET) -> SolverResult:
+    """Find an assignment satisfying *constraint_set*.
+
+    Parameters
+    ----------
+    constraint_set:
+        The conjunction of path constraints to satisfy.
+    hint:
+        A (possibly partial) assignment to prefer; typically the concrete input
+        of the run that produced the constraints.
+    extra_variables:
+        Variables that must receive a value even if no constraint mentions
+        them (e.g. input bytes the program never branched on).
+    node_budget:
+        Upper bound on search nodes before giving up (reported as
+        ``stats.budget_exhausted``).
+    """
+
+    start = time.monotonic()
+    hint = dict(hint or {})
+    stats = SolverStats()
+
+    simplified: List[SymExpr] = []
+    for constraint in constraint_set:
+        expr = simplify(constraint.expr)
+        if expr == sym_const(0):
+            stats.wall_seconds = time.monotonic() - start
+            return SolverResult(False, None, stats)
+        if expr == sym_const(1):
+            continue
+        simplified.append(expr)
+
+    domains: Dict[str, _Domain] = {}
+    for constraint in constraint_set:
+        for var in variables(constraint.expr):
+            domains.setdefault(var.name, _Domain(var))
+    for var in extra_variables or ():
+        domains.setdefault(var.name, _Domain(var))
+
+    # Fast path: the hint may already satisfy everything.
+    if domains and all(name in hint for name in domains):
+        if all(try_evaluate(expr, hint) for expr in simplified):
+            stats.wall_seconds = time.monotonic() - start
+            return SolverResult(True, {name: hint[name] for name in domains}, stats)
+
+    # Unary filtering: constraints over a single small-domain variable.
+    for expr in simplified:
+        names = [v.name for v in variables(expr)]
+        if len(set(names)) != 1:
+            continue
+        name = names[0]
+        domain = domains[name]
+        if domain.size() > _MAX_ENUMERABLE_DOMAIN:
+            continue
+        stats.propagations += 1
+        allowed = [value for value in domain.iter_values()
+                   if try_evaluate(expr, {name: value})]
+        domain.restrict_to(allowed)
+        if domain.is_empty():
+            stats.wall_seconds = time.monotonic() - start
+            return SolverResult(False, None, stats)
+
+    if not simplified:
+        # No non-trivial constraints: answer with the hint / domain minima.
+        assignment = {}
+        for name, domain in domains.items():
+            if name in hint and domain.contains(hint[name]):
+                assignment[name] = hint[name]
+            else:
+                assignment[name] = next(iter(domain.iter_values()))
+        stats.wall_seconds = time.monotonic() - start
+        return SolverResult(True, assignment, stats)
+
+    search = _Search(simplified, domains, hint, node_budget)
+    search.stats = stats
+    assignment = search.run()
+    stats.wall_seconds = time.monotonic() - start
+    if assignment is None:
+        return SolverResult(False, None, stats)
+    # Fill in unconstrained extra variables from the hint where possible.
+    for name, domain in domains.items():
+        if name not in assignment:
+            if name in hint and domain.contains(hint[name]):
+                assignment[name] = hint[name]
+            else:
+                assignment[name] = next(iter(domain.iter_values()))
+    return SolverResult(True, assignment, stats)

@@ -1,0 +1,33 @@
+"""Benchmark workloads: MiniC re-implementations of the paper's programs.
+
+Each module exposes a ``SOURCE`` string (the MiniC program), a set of
+:class:`~repro.environment.Environment` scenario constructors, and — where the
+paper defines one — the argument combination that triggers the crash bug.
+
+* :mod:`repro.workloads.microbench` — the §5.1 counting-loop microbenchmark,
+* :mod:`repro.workloads.fibonacci` — Listing 1,
+* :mod:`repro.workloads.coreutils` — mkdir, mknod, mkfifo, paste with
+  injected crash bugs in the style of the bugs used by the paper (and KLEE),
+* :mod:`repro.workloads.diffutil` — a line-oriented diff,
+* :mod:`repro.workloads.userver` — an event-driven HTTP server (select/accept/
+  recv loop plus request parser) standing in for the uServer,
+* :mod:`repro.workloads.httpgen` — the httperf-like request generator.
+"""
+
+from repro.workloads import (  # noqa: F401
+    coreutils,
+    diffutil,
+    fibonacci,
+    httpgen,
+    microbench,
+    userver,
+)
+
+__all__ = [
+    "coreutils",
+    "diffutil",
+    "fibonacci",
+    "httpgen",
+    "microbench",
+    "userver",
+]

@@ -1,0 +1,27 @@
+"""MiniC re-implementations of the four coreutils programs used in §5.2.
+
+Each module ships the program source, the bug-triggering scenario (a specific
+argument combination, as in the paper and in the KLEE-reported coreutils bugs)
+and at least one benign scenario.  The bugs are:
+
+* ``mkdir -m`` with the mode operand missing — null-pointer dereference while
+  parsing the mode string,
+* ``mknod name b`` with the major/minor operands missing — null-pointer
+  dereference while parsing device numbers,
+* ``mkfifo -m 07777 name`` — a five-character mode string overflows a
+  four-byte octal buffer,
+* ``paste -d\\ <file>`` — a delimiter list ending in a backslash makes the
+  unescaping loop read past the end of the argument (the paper's §5.2
+  example command).
+"""
+
+from repro.workloads.coreutils import mkdir, mkfifo, mknod, paste  # noqa: F401
+
+ALL_PROGRAMS = {
+    "mkdir": mkdir,
+    "mknod": mknod,
+    "mkfifo": mkfifo,
+    "paste": paste,
+}
+
+__all__ = ["ALL_PROGRAMS", "mkdir", "mkfifo", "mknod", "paste"]

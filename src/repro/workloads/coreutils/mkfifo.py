@@ -1,0 +1,94 @@
+"""The ``mkfifo`` workload: create named pipes.
+
+Bug: the octal mode string is copied into a fixed four-byte buffer without a
+bounds check, so ``mkfifo -m 07777 name`` (five digits) overflows it.
+"""
+
+from __future__ import annotations
+
+from repro.environment import Environment, simple_environment
+
+SOURCE = r"""
+/* mkfifo: create named pipes with an optional -m MODE. */
+
+int octal_value(char *digits) {
+    char copy[4];
+    int i = 0;
+    int mode = 0;
+    /* BUG SITE: no bounds check while copying the mode digits; a mode string
+     * with more than four characters overflows the buffer. */
+    while (digits[i] != 0) {
+        copy[i] = digits[i];
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 4 && copy[i] != 0) {
+        if (copy[i] < '0' || copy[i] > '7') {
+            return -1;
+        }
+        mode = mode * 8 + (copy[i] - '0');
+        i = i + 1;
+    }
+    return mode;
+}
+
+int create_fifo(char *name, int mode, int verbose) {
+    if (mkfifo(name, mode) != 0) {
+        printf("mkfifo: cannot create fifo %s\n", name);
+        return 1;
+    }
+    if (verbose == 1) {
+        printf("mkfifo: created fifo %s\n", name);
+    }
+    return 0;
+}
+
+int main(int argc, char **argv) {
+    int mode = 420;
+    int verbose = 0;
+    int status = 0;
+    int i = 1;
+    if (argc < 2) {
+        printf("mkfifo: missing operand\n");
+        return 1;
+    }
+    while (i < argc) {
+        char *arg = argv[i];
+        if (arg[0] == '-' && arg[1] == 'm' && i + 1 < argc) {
+            mode = octal_value(argv[i + 1]);
+            if (mode < 0) {
+                printf("mkfifo: invalid mode\n");
+                return 1;
+            }
+            i = i + 2;
+            continue;
+        }
+        if (arg[0] == '-' && arg[1] == 'v') {
+            verbose = 1;
+            i = i + 1;
+            continue;
+        }
+        if (create_fifo(arg, mode, verbose) != 0) {
+            status = 1;
+        }
+        i = i + 1;
+    }
+    return status;
+}
+"""
+
+
+def bug_scenario() -> Environment:
+    """``mkfifo -m 07777 pipe`` — the five-digit mode overflows the buffer."""
+
+    return simple_environment(["mkfifo", "-m", "07777", "pipe"], name="mkfifo-bug")
+
+
+def benign_scenario() -> Environment:
+    return simple_environment(["mkfifo", "-v", "-m", "644", "pipe0"], name="mkfifo-ok")
+
+
+def multi_scenario() -> Environment:
+    """Several operands in one invocation."""
+
+    return simple_environment(["mkfifo", "a", "b", "c"], name="mkfifo-multi")

@@ -1,0 +1,121 @@
+"""The ``mknod`` workload: create a special file of a given type.
+
+Bug: creating a block or character device requires major/minor operands;
+``mknod name b`` without them dereferences the NULL ``argv[argc]`` entry while
+parsing the major number.
+"""
+
+from __future__ import annotations
+
+from repro.environment import Environment, simple_environment
+
+SOURCE = r"""
+/* mknod: create a fifo, character device or block device node. */
+
+int parse_number(char *text) {
+    int value = 0;
+    int i = 0;
+    /* BUG SITE: text is NULL when the major/minor operand is missing. */
+    while (text[i] != 0) {
+        if (text[i] < '0') {
+            return -1;
+        }
+        if (text[i] > '9') {
+            return -1;
+        }
+        value = value * 10 + (text[i] - '0');
+        i = i + 1;
+    }
+    return value;
+}
+
+int parse_mode_arg(char *text) {
+    int mode = 0;
+    int i = 0;
+    while (text[i] != 0) {
+        if (text[i] < '0') {
+            return -1;
+        }
+        if (text[i] > '7') {
+            return -1;
+        }
+        mode = mode * 8 + (text[i] - '0');
+        i = i + 1;
+    }
+    return mode;
+}
+
+int main(int argc, char **argv) {
+    int mode = 420;
+    int i = 1;
+    char *name = 0;
+    char type = 0;
+    int major = 0;
+    int minor = 0;
+    if (argc < 3) {
+        printf("mknod: missing operand\n");
+        return 1;
+    }
+    while (i < argc) {
+        char *arg = argv[i];
+        if (arg[0] == '-' && arg[1] == 'm') {
+            mode = parse_mode_arg(argv[i + 1]);
+            if (mode < 0) {
+                printf("mknod: invalid mode\n");
+                return 1;
+            }
+            i = i + 2;
+            continue;
+        }
+        if (name == 0) {
+            name = arg;
+            i = i + 1;
+            continue;
+        }
+        type = arg[0];
+        if (type == 'p') {
+            i = i + 1;
+            continue;
+        }
+        if (type == 'b' || type == 'c') {
+            major = parse_number(argv[i + 1]);
+            minor = parse_number(argv[i + 2]);
+            if (major < 0 || minor < 0) {
+                printf("mknod: invalid device number\n");
+                return 1;
+            }
+            i = i + 3;
+            continue;
+        }
+        printf("mknod: invalid type %c\n", type);
+        return 1;
+    }
+    if (name == 0 || type == 0) {
+        printf("mknod: missing operand\n");
+        return 1;
+    }
+    if (mknod(name, mode) != 0) {
+        printf("mknod: cannot create %s\n", name);
+        return 1;
+    }
+    return 0;
+}
+"""
+
+
+def bug_scenario() -> Environment:
+    """``mknod device b`` — major/minor missing, parsing crashes."""
+
+    return simple_environment(["mknod", "device", "b"], name="mknod-bug")
+
+
+def benign_scenario() -> Environment:
+    """A fifo node needs no device numbers."""
+
+    return simple_environment(["mknod", "-m", "0644", "pipe0", "p"], name="mknod-ok")
+
+
+def device_scenario() -> Environment:
+    """A full block-device invocation (exercises the number parser)."""
+
+    return simple_environment(["mknod", "disk0", "b", "8", "1"], name="mknod-device")

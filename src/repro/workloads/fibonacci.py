@@ -1,0 +1,54 @@
+"""Listing 1 from the paper: the fibonacci option program.
+
+The program has many branches (inside ``fibonacci``), but only the two option
+checks in ``main`` depend on input; recording those two bits fully determines
+the execution.  This is the second §5.1 microbenchmark.
+"""
+
+from __future__ import annotations
+
+from repro.environment import Environment, simple_environment
+
+SOURCE = r"""
+/* Listing 1: compute a fibonacci number selected by a single option char. */
+
+int fibonacci(int n) {
+    if (n <= 1) {
+        return n;
+    }
+    return fibonacci(n - 1) + fibonacci(n - 2);
+}
+
+int main(int argc, char **argv) {
+    char option = read_option();
+    int result = 0;
+    if (option == 'a') {
+        result = fibonacci(14);
+    } else if (option == 'b') {
+        result = fibonacci(16);
+    }
+    printf("Result: %d\n", result);
+    return 0;
+}
+"""
+
+
+def scenario(option: str = "b") -> Environment:
+    """Run with the given option character on stdin."""
+
+    return simple_environment(["fib"], stdin=option.encode("utf-8"),
+                              name=f"fibonacci-{option}")
+
+
+def scenario_a() -> Environment:
+    return scenario("a")
+
+
+def scenario_b() -> Environment:
+    return scenario("b")
+
+
+def scenario_neither() -> Environment:
+    """An option that selects neither branch (result stays 0)."""
+
+    return scenario("x")

@@ -1,0 +1,117 @@
+"""HTTP request generation: the httperf analogue.
+
+The paper drives the uServer with httperf and with five hand-crafted input
+scenarios that exercise different areas of the HTTP parser (different methods,
+URI lengths, cookies, Content-Length).  This module builds the equivalent
+request byte strings and the scripted workloads handed to the simulated
+network model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class RequestSpec:
+    """One HTTP request to synthesise."""
+
+    method: str = "GET"
+    uri: str = "/index.html"
+    version: str = "HTTP/1.1"
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def render(self) -> bytes:
+        """Serialise the request into wire bytes."""
+
+        lines = [f"{self.method} {self.uri} {self.version}"]
+        headers = dict(self.headers)
+        if self.body and "Content-Length" not in headers:
+            headers["Content-Length"] = str(len(self.body))
+        for name, value in headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("ascii") + self.body
+
+
+def get_request(uri: str = "/index.html", cookie: Optional[str] = None,
+                host: str = "localhost") -> bytes:
+    headers = {"Host": host}
+    if cookie is not None:
+        headers["Cookie"] = cookie
+    return RequestSpec(method="GET", uri=uri, headers=headers).render()
+
+
+def head_request(uri: str = "/index.html") -> bytes:
+    return RequestSpec(method="HEAD", uri=uri, headers={"Host": "localhost"}).render()
+
+
+def post_request(uri: str = "/submit", body: bytes = b"k=v",
+                 cookie: Optional[str] = None) -> bytes:
+    headers: Dict[str, str] = {"Host": "localhost"}
+    if cookie is not None:
+        headers["Cookie"] = cookie
+    return RequestSpec(method="POST", uri=uri, headers=headers, body=body).render()
+
+
+def bad_request(text: str = "BOGUS /x\r\n\r\n") -> bytes:
+    return text.encode("ascii")
+
+
+def uniform_workload(count: int, uri: str = "/index.html") -> List[bytes]:
+    """``count`` identical GET requests — the httperf saturation workload used
+    for the overhead measurements (Figure 4)."""
+
+    return [get_request(uri) for _ in range(count)]
+
+
+def mixed_workload(count: int) -> List[bytes]:
+    """A rotating mix of methods and URIs used by branch-behaviour profiling."""
+
+    requests: List[bytes] = []
+    uris = ["/", "/index.html", "/data/item", "/missing"]
+    for index in range(count):
+        uri = uris[index % len(uris)]
+        if index % 5 == 3:
+            requests.append(post_request("/submit", body=b"n=%d" % index))
+        elif index % 5 == 4:
+            requests.append(head_request(uri))
+        else:
+            requests.append(get_request(uri))
+    return requests
+
+
+# ---------------------------------------------------------------------------
+# The five Table 3 input scenarios
+# ---------------------------------------------------------------------------
+
+
+def scenario_requests(number: int) -> List[bytes]:
+    """Request mix for uServer experiment ``number`` (1-5).
+
+    The scenarios escalate in size and in the parser areas they touch, in the
+    spirit of the paper's description (5-400 byte requests, different methods
+    and header sets).
+    """
+
+    if number == 1:
+        return [get_request("/")]
+    if number == 2:
+        return [get_request("/index.html"), get_request("/missing")]
+    if number == 3:
+        return [get_request("/index.html", cookie="sid=42"),
+                head_request("/status")]
+    if number == 4:
+        return [post_request("/submit", body=b"name=alice&score=10"),
+                get_request("/data/item")]
+    if number == 5:
+        return [get_request("/a/rather/long/path/to/a/resource.html"),
+                post_request("/upload", body=b"payload=0123456789",
+                             cookie="token=abcdef"),
+                bad_request()]
+    raise ValueError(f"unknown uServer scenario {number}")
+
+
+ALL_SCENARIOS: Sequence[int] = (1, 2, 3, 4, 5)

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConcolicBudget, Pipeline, PipelineConfig, ReplayBudget
+from repro.environment import simple_environment
+from repro.interp.inputs import ExecutionMode, InputBinder
+from repro.interp.interpreter import ExecutionConfig, Interpreter
+from repro.interp.tracer import TraceRecorder
+from repro.lang.program import Program
+from repro.osmodel.kernel import Kernel, KernelConfig
+
+# A small but representative program: symbolic branches (argv dependent),
+# concrete branches (loop over a constant), a helper function and a crash
+# reachable only under a specific argument.
+GUARD_SOURCE = r"""
+int check(char *arg) {
+    int n = strlen(arg);
+    if (n > 3) {
+        if (arg[0] == 'c') {
+            if (arg[1] == 'r') {
+                if (arg[2] == 'a') {
+                    crash("guarded crash");
+                }
+            }
+        }
+    }
+    return 0;
+}
+
+int busywork(int rounds) {
+    int total = 0;
+    int i;
+    for (i = 0; i < rounds; i = i + 1) {
+        total = total + i;
+    }
+    return total;
+}
+
+int main(int argc, char **argv) {
+    int i;
+    busywork(10);
+    for (i = 1; i < argc; i = i + 1) {
+        check(argv[i]);
+    }
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def guard_program() -> Program:
+    return Program.from_source(GUARD_SOURCE, name="guard")
+
+
+@pytest.fixture
+def guard_pipeline() -> Pipeline:
+    config = PipelineConfig(concolic_budget=ConcolicBudget(max_iterations=24, max_seconds=5),
+                            replay_budget=ReplayBudget(max_runs=100, max_seconds=10))
+    return Pipeline.from_source(GUARD_SOURCE, name="guard", config=config)
+
+
+@pytest.fixture
+def crash_env():
+    return simple_environment(["guard", "crash"], name="crash-env")
+
+
+@pytest.fixture
+def benign_env():
+    return simple_environment(["guard", "hello"], name="benign-env")
+
+
+def run_source(source: str, argv, stdin: bytes = b"", mode: ExecutionMode = ExecutionMode.RECORD,
+               files=None, requests=None, max_steps: int = 2_000_000):
+    """Helper used across tests: run a MiniC source once and return
+    (ExecutionResult, TraceRecorder, Interpreter)."""
+
+    program = Program.from_source(source)
+    env = simple_environment(argv, stdin=stdin, files=files, requests=requests)
+    recorder = TraceRecorder()
+    interpreter = Interpreter(program, kernel=env.make_kernel(), hooks=recorder,
+                              binder=InputBinder(mode=mode),
+                              config=ExecutionConfig(mode=mode, max_steps=max_steps))
+    result = interpreter.run(argv)
+    return result, recorder, interpreter

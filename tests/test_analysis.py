@@ -1,0 +1,219 @@
+"""Tests for the static analysis (points-to + dataflow)."""
+
+import pytest
+
+from repro.analysis.dataflow import StaticAnalyzer
+from repro.analysis.pointsto import ARGV_OBJECT, PointsToAnalysis, qualify
+from repro.lang.program import Program
+from repro.workloads import fibonacci
+from repro.workloads.coreutils import mkdir
+
+
+def analyze(source, **kwargs):
+    program = Program.from_source(source, name="t")
+    return program, StaticAnalyzer(program, **kwargs).run()
+
+
+def symbolic_lines(result, function=None):
+    return {loc.line for loc in result.symbolic_branches
+            if function is None or loc.function == function}
+
+
+def concrete_lines(result, function=None):
+    return {loc.line for loc in result.concrete_branches
+            if function is None or loc.function == function}
+
+
+class TestPointsTo:
+    SOURCE = """
+    char GLOBALBUF[32];
+    int fill(char *dst) { dst[0] = 'x'; return 0; }
+    int main(int argc, char **argv) {
+        char local[8];
+        char *p = local;
+        char *q = p;
+        char *g = GLOBALBUF;
+        char *m = malloc(16);
+        fill(q);
+        return 0;
+    }
+    """
+
+    def test_alias_chain(self):
+        program = Program.from_source(self.SOURCE)
+        result = PointsToAnalysis(program).run()
+        p = result.pointees(qualify("main", "p"))
+        q = result.pointees(qualify("main", "q"))
+        assert p and p <= q or p == q
+        assert result.may_alias(qualify("main", "p"), qualify("main", "q"))
+
+    def test_parameter_binding(self):
+        program = Program.from_source(self.SOURCE)
+        result = PointsToAnalysis(program).run()
+        dst = result.pointees(qualify("fill", "dst"))
+        local = result.pointees(qualify("main", "local"))
+        assert local & dst
+
+    def test_globals_and_malloc_objects(self):
+        program = Program.from_source(self.SOURCE)
+        result = PointsToAnalysis(program).run()
+        assert any("global" in obj for obj in result.pointees(qualify("main", "g")))
+        assert any("malloc" in obj for obj in result.pointees(qualify("main", "m")))
+
+    def test_argv_points_to_summary_object(self):
+        program = Program.from_source(self.SOURCE)
+        result = PointsToAnalysis(program).run()
+        assert ARGV_OBJECT in result.pointees(qualify("main", "argv"))
+
+
+class TestDataflowBasics:
+    def test_argv_dependent_branch_is_symbolic(self):
+        src = """
+        int main(int argc, char **argv) {
+            if (argv[1][0] == 'x') { return 1; }
+            if (5 > 3) { return 2; }
+            return 0;
+        }
+        """
+        _, result = analyze(src)
+        assert 3 in symbolic_lines(result)
+        assert 4 in concrete_lines(result)
+
+    def test_propagation_through_assignment(self):
+        src = """
+        int main(int argc, char **argv) {
+            char c = argv[1][0];
+            char d = c;
+            if (d == 'z') { return 1; }
+            return 0;
+        }
+        """
+        _, result = analyze(src)
+        assert 5 in symbolic_lines(result)
+
+    def test_input_builtin_is_a_source(self):
+        src = """
+        int main() {
+            int c = getchar();
+            if (c == 10) { return 1; }
+            return 0;
+        }
+        """
+        _, result = analyze(src)
+        assert 4 in symbolic_lines(result)
+
+    def test_constant_loop_is_concrete(self):
+        src = """
+        int main() {
+            int i; int t = 0;
+            for (i = 0; i < 8; i = i + 1) { t = t + i; }
+            if (t > 100) { return 1; }
+            return 0;
+        }
+        """
+        _, result = analyze(src)
+        assert result.symbolic_branches == set()
+
+    def test_symbolic_return_value_propagates_interprocedurally(self):
+        src = """
+        int pick(char *s) { return s[0]; }
+        int main(int argc, char **argv) {
+            int v = pick(argv[1]);
+            if (v == 7) { return 1; }
+            return 0;
+        }
+        """
+        _, result = analyze(src)
+        assert 5 in symbolic_lines(result, "main")
+        assert "pick" in result.functions_returning_symbolic
+
+    def test_symbolic_parameter_propagates_into_callee(self):
+        src = """
+        int check(int v) {
+            if (v > 10) { return 1; }
+            return 0;
+        }
+        int main(int argc, char **argv) {
+            return check(argv[1][0]);
+        }
+        """
+        _, result = analyze(src)
+        assert 3 in symbolic_lines(result, "check")
+
+    def test_globals_propagate_across_functions(self):
+        src = """
+        int FLAG;
+        int set_flag(char *s) { FLAG = s[0]; return 0; }
+        int use_flag() {
+            if (FLAG == 1) { return 1; }
+            return 0;
+        }
+        int main(int argc, char **argv) {
+            set_flag(argv[1]);
+            return use_flag();
+        }
+        """
+        _, result = analyze(src)
+        assert 5 in symbolic_lines(result, "use_flag")
+
+    def test_buffer_filled_by_read_is_symbolic(self):
+        src = """
+        int main() {
+            char buf[16];
+            int fd = open("/f", 0);
+            int n = read(fd, buf, 8);
+            if (buf[0] == 'a') { return 1; }
+            if (n < 0) { return 2; }
+            return 0;
+        }
+        """
+        _, result = analyze(src)
+        assert 6 in symbolic_lines(result)
+        assert 7 in symbolic_lines(result)
+
+    def test_strcpy_propagates_through_memory(self):
+        src = """
+        int main(int argc, char **argv) {
+            char copy[64];
+            strcpy(copy, argv[1]);
+            if (copy[2] == 'k') { return 1; }
+            return 0;
+        }
+        """
+        _, result = analyze(src)
+        assert 5 in symbolic_lines(result)
+
+
+class TestConservativeness:
+    def test_static_superset_of_truth_on_listing1(self):
+        # Every truly symbolic branch (the two option checks) must be included.
+        _, result = analyze(fibonacci.SOURCE)
+        main_symbolic = symbolic_lines(result, "main")
+        assert {14, 16} <= main_symbolic
+        # The fibonacci recursion guard only depends on constants.
+        assert concrete_lines(result, "fibonacci") == {5}
+
+    def test_mkdir_mode_branches_are_symbolic(self):
+        _, result = analyze(mkdir.SOURCE)
+        assert len(symbolic_lines(result, "parse_mode")) >= 2
+
+    def test_skip_functions_are_all_symbolic(self):
+        src = """
+        int libhelper(int x) {
+            if (x > 0) { return 1; }
+            if (x < -5) { return 2; }
+            return 0;
+        }
+        int main(int argc, char **argv) {
+            if (libhelper(3) == 1) { return 1; }
+            return 0;
+        }
+        """
+        _, result = analyze(src, skip_functions={"libhelper"})
+        assert len(symbolic_lines(result, "libhelper")) == 2
+        assert "libhelper" in result.skipped_functions
+
+    def test_summary_mentions_counts(self):
+        _, result = analyze(fibonacci.SOURCE)
+        assert "symbolic" in result.summary()
+        assert result.passes >= 1

@@ -1,0 +1,126 @@
+"""Tests for CFG construction, branch locations and the Program container."""
+
+import pytest
+
+from repro.lang.cfg import build_cfg, enumerate_branch_locations
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_program
+from repro.lang.program import Program
+
+SOURCE = """
+int helper(int x) {
+    if (x > 0) {
+        return 1;
+    }
+    return 0;
+}
+
+int unused(int x) {
+    while (x > 0) {
+        x = x - 1;
+    }
+    return x;
+}
+
+int main(int argc, char **argv) {
+    int i;
+    int total = 0;
+    for (i = 0; i < argc; i = i + 1) {
+        total = total + helper(i);
+    }
+    if (total > 2) {
+        printf("big\\n");
+    }
+    return 0;
+}
+"""
+
+
+class TestCFG:
+    def test_every_function_gets_a_cfg(self):
+        program = Program.from_source(SOURCE)
+        assert set(program.cfgs) == {"helper", "unused", "main"}
+
+    def test_entry_reaches_exit(self):
+        program = Program.from_source(SOURCE)
+        cfg = program.cfgs["main"]
+        reachable = cfg.reachable_blocks()
+        assert cfg.entry_id in reachable
+        assert cfg.exit_id in reachable
+
+    def test_branch_blocks_match_branch_locations(self):
+        program = Program.from_source(SOURCE)
+        cfg = program.cfgs["main"]
+        branch_ids = {block.branch.node_id for block in cfg.branch_blocks()}
+        location_ids = {b.node_id for b in program.branches_in_function("main")}
+        assert branch_ids == location_ids
+
+    def test_if_block_has_two_successors(self):
+        unit = parse_program("int main() { if (1) { return 1; } return 0; }")
+        cfg = build_cfg(unit.functions[0])
+        branch_block = cfg.branch_blocks()[0]
+        assert len(branch_block.successors) == 2
+
+    def test_while_loop_has_back_edge(self):
+        unit = parse_program("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }")
+        cfg = build_cfg(unit.functions[0])
+        edges = set(cfg.edges())
+        header = cfg.branch_blocks()[0].block_id
+        assert any(dst == header for (src, dst) in edges if src != header)
+
+    def test_break_jumps_out_of_loop(self):
+        unit = parse_program("int main() { while (1) { break; } return 0; }")
+        cfg = build_cfg(unit.functions[0])
+        assert cfg.exit_id in cfg.reachable_blocks()
+
+
+class TestBranchLocations:
+    def test_enumeration_is_sorted_and_stable(self):
+        unit = parse_program(SOURCE)
+        locations = enumerate_branch_locations(unit)
+        assert locations == sorted(locations)
+        assert len(locations) == 4
+
+    def test_kinds(self):
+        unit = parse_program(SOURCE)
+        kinds = sorted(loc.kind for loc in enumerate_branch_locations(unit))
+        assert kinds == ["for", "if", "if", "while"]
+
+    def test_short_labels_contain_function_and_line(self):
+        unit = parse_program(SOURCE)
+        labels = [loc.short() for loc in enumerate_branch_locations(unit)]
+        assert any(label.startswith("main:") for label in labels)
+        assert any(label.startswith("helper:") for label in labels)
+
+
+class TestProgram:
+    def test_requires_main(self):
+        with pytest.raises(SemanticError):
+            Program.from_source("int helper() { return 0; }")
+
+    def test_duplicate_function_rejected(self):
+        with pytest.raises(SemanticError):
+            Program.from_source("int main() { return 0; } int main() { return 1; }")
+
+    def test_call_graph_and_reachability(self):
+        program = Program.from_source(SOURCE)
+        graph = program.call_graph()
+        assert "helper" in graph["main"]
+        reachable = program.reachable_functions()
+        assert "helper" in reachable
+        assert "unused" not in reachable
+
+    def test_library_split(self):
+        program = Program.from_source(SOURCE, library_functions={"helper"})
+        lib = program.library_branches()
+        app = program.application_branches()
+        assert all(b.function == "helper" for b in lib)
+        assert all(b.function != "helper" for b in app)
+        assert len(lib) + len(app) == len(program.branch_locations)
+
+    def test_describe_contains_counts(self):
+        program = Program.from_source(SOURCE)
+        info = program.describe()
+        assert info["functions"] == 3
+        assert info["branch_locations"] == 4
+        assert info["source_lines"] > 10

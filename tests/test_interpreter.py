@@ -1,0 +1,223 @@
+"""Tests for the MiniC interpreter: semantics, crashes and tracing."""
+
+import pytest
+
+from repro.interp.inputs import ExecutionMode
+from tests.conftest import run_source
+
+
+class TestArithmeticAndControlFlow:
+    def test_return_value_becomes_exit_code(self):
+        result, _, _ = run_source("int main() { return 7; }", ["p"])
+        assert result.exit_code == 7
+
+    def test_arithmetic_expressions(self):
+        src = "int main() { return (2 + 3) * 4 - 10 / 2; }"
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == 15
+
+    def test_c_division_truncates_toward_zero(self):
+        src = "int main() { return 0 - (7 / 2); }"
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == -3
+
+    def test_while_loop(self):
+        src = """
+        int main() {
+            int i = 0;
+            int total = 0;
+            while (i < 5) { total = total + i; i = i + 1; }
+            return total;
+        }
+        """
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == 10
+
+    def test_for_loop_with_break_and_continue(self):
+        src = """
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 0; i < 100; i = i + 1) {
+                if (i == 5) { break; }
+                if (i % 2 == 0) { continue; }
+                total = total + i;
+            }
+            return total;
+        }
+        """
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == 4  # 1 + 3
+
+    def test_nested_function_calls_and_recursion(self):
+        src = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main() { return fact(5); }
+        """
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == 120
+
+    def test_ternary_and_logical_operators(self):
+        src = "int main() { int x = 4; return (x > 2 && x < 10) ? 1 : 0; }"
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == 1
+
+    def test_global_variables(self):
+        src = """
+        int COUNTER;
+        int bump() { COUNTER = COUNTER + 1; return COUNTER; }
+        int main() { bump(); bump(); return COUNTER; }
+        """
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == 2
+
+
+class TestArraysAndPointers:
+    def test_array_read_write(self):
+        src = """
+        int main() {
+            int data[4];
+            data[0] = 3; data[1] = 5;
+            return data[0] + data[1];
+        }
+        """
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == 8
+
+    def test_pointer_arithmetic_and_dereference(self):
+        src = """
+        int main() {
+            char buf[8];
+            char *p = buf;
+            *p = 'a';
+            *(p + 1) = 'b';
+            return buf[1];
+        }
+        """
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == ord("b")
+
+    def test_string_literals_and_strlen(self):
+        src = 'int main() { return strlen("hello"); }'
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == 5
+
+    def test_argv_access(self):
+        src = "int main(int argc, char **argv) { return argv[1][0]; }"
+        result, _, _ = run_source(src, ["p", "Zebra"])
+        assert result.exit_code == ord("Z")
+
+    def test_out_of_bounds_read_crashes(self):
+        src = "int main() { int a[2]; return a[5]; }"
+        result, _, _ = run_source(src, ["p"])
+        assert result.crashed
+        assert "out of bounds" in result.crash.message
+
+    def test_null_dereference_crashes(self):
+        src = "int main() { char *p = 0; return p[0]; }"
+        result, _, _ = run_source(src, ["p"])
+        assert result.crashed
+
+    def test_division_by_zero_crashes(self):
+        src = "int main(int argc, char **argv) { return 10 / (argc - 1); }"
+        result, _, _ = run_source(src, ["p"])
+        assert result.crashed
+
+    def test_crash_site_identity(self):
+        src = """
+        int boom() { crash("here"); return 0; }
+        int main() { boom(); return 0; }
+        """
+        result, _, _ = run_source(src, ["p"])
+        assert result.crashed
+        assert result.crash.function == "boom"
+
+
+class TestLimitsAndOutput:
+    def test_step_limit(self):
+        src = "int main() { while (1) { } return 0; }"
+        result, _, _ = run_source(src, ["p"], max_steps=500)
+        assert result.step_limit_hit
+        assert not result.crashed
+
+    def test_printf_output(self):
+        src = 'int main() { printf("x=%d s=%s c=%c\\n", 42, "ok", \'!\'); return 0; }'
+        result, _, _ = run_source(src, ["p"])
+        assert result.stdout == "x=42 s=ok c=!\n"
+
+    def test_exit_builtin(self):
+        src = 'int main() { exit(3); return 0; }'
+        result, _, _ = run_source(src, ["p"])
+        assert result.exit_code == 3
+
+
+class TestBranchTracing:
+    LOOP_SRC = """
+    int main(int argc, char **argv) {
+        int i;
+        int hits = 0;
+        for (i = 0; i < 4; i = i + 1) {
+            if (argv[1][0] == 'x') { hits = hits + 1; }
+        }
+        return hits;
+    }
+    """
+
+    def test_branch_counts(self):
+        result, recorder, _ = run_source(self.LOOP_SRC, ["p", "x"])
+        # for executes 5 times (4 true + 1 false), the if 4 times.
+        assert result.branch_executions == 9
+        assert recorder.total_branches == 9
+
+    def test_symbolic_branches_only_in_analyze_mode(self):
+        record_result, record_trace, _ = run_source(self.LOOP_SRC, ["p", "x"])
+        analyze_result, analyze_trace, _ = run_source(
+            self.LOOP_SRC, ["p", "x"], mode=ExecutionMode.ANALYZE)
+        assert record_result.symbolic_branch_executions == 0
+        assert analyze_result.symbolic_branch_executions == 4
+        assert len(analyze_trace.symbolic_locations()) == 1
+
+    def test_branch_locations_are_consistent_across_runs(self):
+        # Node ids are parse-specific, but (function, line, kind) is stable.
+        _, trace_a, _ = run_source(self.LOOP_SRC, ["p", "x"])
+        _, trace_b, _ = run_source(self.LOOP_SRC, ["p", "y"])
+        key = lambda locs: [(b.function, b.line, b.kind) for b in locs]  # noqa: E731
+        assert key(trace_a.visited_locations()) == key(trace_b.visited_locations())
+
+    def test_no_mixed_locations_in_simple_program(self):
+        _, trace, _ = run_source(self.LOOP_SRC, ["p", "x"], mode=ExecutionMode.ANALYZE)
+        assert trace.mixed_locations() == []
+
+
+class TestInputBinding:
+    def test_argv_bytes_bound_in_analyze_mode(self):
+        src = "int main(int argc, char **argv) { return argv[1][0]; }"
+        _, _, interp = run_source(src, ["p", "hi"], mode=ExecutionMode.ANALYZE)
+        assert "arg1_0" in interp.binder.variables
+        assert interp.binder.concrete_values["arg1_0"] == ord("h")
+
+    def test_stdin_bytes_bound(self):
+        src = "int main() { return getchar(); }"
+        _, _, interp = run_source(src, ["p"], stdin=b"Q", mode=ExecutionMode.ANALYZE)
+        assert interp.binder.concrete_values.get("stdin_0") == ord("Q")
+
+    def test_record_mode_binds_nothing(self):
+        src = "int main(int argc, char **argv) { return argv[1][0]; }"
+        _, _, interp = run_source(src, ["p", "hi"], mode=ExecutionMode.RECORD)
+        assert interp.binder.variables == {}
+
+    def test_file_reads_are_bound(self):
+        src = """
+        int main() {
+            char buf[16];
+            int fd = open("/f.txt", 0);
+            int n = read(fd, buf, 4);
+            return buf[0];
+        }
+        """
+        _, _, interp = run_source(src, ["p"], files={"/f.txt": b"data"},
+                                  mode=ExecutionMode.ANALYZE)
+        assert any(name.startswith("file__f.txt") for name in interp.binder.variables)

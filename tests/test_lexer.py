@@ -1,0 +1,120 @@
+"""Unit tests for the MiniC lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import Token, TokenType, tokenize
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_whitespace_only_source(self):
+        tokens = tokenize("   \n\t  \r\n ")
+        assert [t.type for t in tokens] == [TokenType.EOF]
+
+    def test_identifier(self):
+        assert values("counter") == ["counter"]
+
+    def test_identifier_with_underscore_and_digits(self):
+        assert values("_buf2_end") == ["_buf2_end"]
+
+    def test_keyword_vs_identifier(self):
+        tokens = tokenize("int integer")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENT
+
+    def test_decimal_integer(self):
+        assert values("12345") == [12345]
+
+    def test_hex_integer(self):
+        assert values("0x1F") == [31]
+
+    def test_zero(self):
+        assert values("0") == [0]
+
+
+class TestLiterals:
+    def test_char_literal(self):
+        assert values("'a'") == [ord("a")]
+
+    def test_char_escape_newline(self):
+        assert values(r"'\n'") == [10]
+
+    def test_char_escape_backslash(self):
+        assert values(r"'\\'") == [92]
+
+    def test_char_escape_nul(self):
+        assert values(r"'\0'") == [0]
+
+    def test_string_literal(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_string_with_escapes(self):
+        assert values(r'"a\tb\n"') == ["a\tb\n"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["==", "!=", "<=", ">=", "&&", "||", "++",
+                                    "--", "+=", "-=", "<<", ">>"])
+    def test_two_char_operators(self, op):
+        assert values(f"a {op} b") == ["a", op, "b"]
+
+    def test_longest_match_wins(self):
+        # "<<=" should not be split into "<<" and "=".
+        assert values("a <<= b") == ["a", "<<=", "b"]
+
+    def test_single_char_operators(self):
+        assert values("a+b*c") == ["a", "+", "b", "*", "c"]
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_is_skipped(self):
+        assert values("a // comment\n b") == ["a", "b"]
+
+    def test_block_comment_is_skipped(self):
+        assert values("a /* x\n y */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_preprocessor_line_is_ignored(self):
+        assert values("#include <stdio.h>\nint x") == ["int", "x"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("int x;\nint y;")
+        y_token = [t for t in tokens if t.value == "y"][0]
+        assert y_token.line == 2
+        assert y_token.column == 5
+
+    def test_token_helpers(self):
+        token = Token(TokenType.OP, "+", 1, 1)
+        assert token.is_op("+", "-")
+        assert not token.is_op("*")
+        keyword = Token(TokenType.KEYWORD, "if", 1, 1)
+        assert keyword.is_keyword("if")
+        assert not keyword.is_keyword("while")

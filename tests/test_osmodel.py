@@ -1,0 +1,192 @@
+"""Tests for the simulated OS: filesystem, network model and kernel."""
+
+import pytest
+
+from repro.osmodel.filesystem import FileSystem
+from repro.osmodel.kernel import Kernel, KernelConfig
+from repro.osmodel.network import NetworkModel, NetworkScript, ScriptedConnection
+from repro.osmodel.syscalls import SyscallKind
+
+
+class TestFileSystem:
+    def test_root_exists(self):
+        fs = FileSystem()
+        assert fs.exists("/")
+        assert fs.is_dir("/")
+
+    def test_add_and_read_file(self):
+        fs = FileSystem()
+        fs.add_file("/etc/hosts", b"127.0.0.1")
+        assert fs.exists("/etc/hosts")
+        assert fs.get("/etc/hosts").data == b"127.0.0.1"
+
+    def test_path_normalization(self):
+        fs = FileSystem()
+        fs.add_file("dir//file.txt", b"x")
+        assert fs.exists("/dir/file.txt")
+
+    def test_mkdir_success_and_duplicate(self):
+        fs = FileSystem()
+        assert fs.mkdir("/data")
+        assert not fs.mkdir("/data")
+
+    def test_mkdir_requires_parent(self):
+        fs = FileSystem()
+        assert not fs.mkdir("/a/b/c")
+        assert fs.mkdir("/a")
+        assert fs.mkdir("/a/b")
+        assert fs.mkdir("/a/b/c")
+
+    def test_mknod_and_unlink(self):
+        fs = FileSystem()
+        assert fs.mknod("/dev0")
+        assert fs.unlink("/dev0")
+        assert not fs.unlink("/dev0")
+
+    def test_cannot_unlink_root(self):
+        fs = FileSystem()
+        assert not fs.unlink("/")
+
+    def test_write_and_append(self):
+        fs = FileSystem()
+        fs.write("/log", b"a")
+        fs.write("/log", b"b", append=True)
+        assert fs.get("/log").data == b"ab"
+
+
+class TestNetworkModel:
+    def test_connections_arrive_in_order(self):
+        script = NetworkScript.from_requests([b"one", b"two"])
+        net = NetworkModel(script)
+        net.advance()
+        assert net.pending_connection()
+        first = net.accept(10)
+        assert first.request == b"one"
+        net.advance()
+        second = net.accept(11)
+        assert second.request == b"two"
+        assert not net.pending_connection()
+
+    def test_readable_until_drained(self):
+        net = NetworkModel(NetworkScript.from_requests([b"abcd"]))
+        net.advance()
+        conn = net.accept(5)
+        assert net.readable(5)
+        assert conn.read(10) == b"abcd"
+        assert not net.readable(5)
+        assert net.all_done()
+
+    def test_chunked_delivery(self):
+        script = NetworkScript.from_requests([b"abcdef"], chunk_size=2)
+        net = NetworkModel(script)
+        net.advance()
+        conn = net.accept(7)
+        assert conn.read(100) == b"ab"
+        assert conn.read(100) == b"cd"
+        assert conn.read(100) == b"ef"
+
+    def test_responses_collected(self):
+        net = NetworkModel(NetworkScript.from_requests([b"hi"]))
+        net.advance()
+        conn = net.accept(3)
+        conn.write(b"HTTP/1.1 200 OK")
+        assert net.responses()[3] == b"HTTP/1.1 200 OK"
+
+
+class TestKernelFiles:
+    def test_open_read_close(self):
+        kernel = Kernel()
+        kernel.fs.add_file("/data.txt", b"hello world")
+        fd = kernel.sys_open("/data.txt")
+        assert fd >= 3
+        count, data = kernel.sys_read(fd, 5)
+        assert (count, data) == (5, b"hello")
+        count, data = kernel.sys_read(fd, 100)
+        assert data == b" world"
+        assert kernel.sys_close(fd) == 0
+
+    def test_open_missing_file(self):
+        kernel = Kernel()
+        assert kernel.sys_open("/nope") == -1
+
+    def test_read_chunk_limit(self):
+        kernel = Kernel(config=KernelConfig(read_chunk_limit=3))
+        kernel.fs.add_file("/f", b"abcdefgh")
+        fd = kernel.sys_open("/f")
+        count, data = kernel.sys_read(fd, 100)
+        assert data == b"abc"
+
+    def test_stdin_getchar_and_eof(self):
+        kernel = Kernel(config=KernelConfig(stdin_data=b"xy"))
+        assert kernel.sys_getchar() == ord("x")
+        assert kernel.sys_getchar() == ord("y")
+        assert kernel.sys_getchar() == -1
+
+    def test_stdout_capture(self):
+        kernel = Kernel()
+        kernel.sys_write(1, b"hello")
+        assert kernel.stdout_text() == "hello"
+
+    def test_mk_syscalls_record_trace(self):
+        kernel = Kernel()
+        assert kernel.sys_mkdir("/d") == 0
+        assert kernel.sys_mkdir("/d") == -1
+        assert kernel.sys_mkfifo("/p") == 0
+        assert kernel.sys_mknod("/n") == 0
+        kinds = [event.kind for event in kernel.trace]
+        assert kinds.count(SyscallKind.MKDIR) == 2
+        assert SyscallKind.MKFIFO in kinds
+        assert SyscallKind.MKNOD in kinds
+
+
+class TestKernelNetwork:
+    def make_kernel(self, requests):
+        net = NetworkModel(NetworkScript.from_requests(requests))
+        return Kernel(network=net)
+
+    def test_select_reports_listen_then_connection(self):
+        kernel = self.make_kernel([b"GET / HTTP/1.0\r\n\r\n"])
+        listen_fd = kernel.sys_listen()
+        ready = kernel.sys_select()
+        assert ready == listen_fd
+        conn_fd = kernel.sys_accept(listen_fd)
+        assert conn_fd > listen_fd
+        ready = kernel.sys_select()
+        assert ready == conn_fd
+
+    def test_recv_drains_request(self):
+        kernel = self.make_kernel([b"abcdef"])
+        listen_fd = kernel.sys_listen()
+        kernel.sys_select()
+        conn_fd = kernel.sys_accept(listen_fd)
+        count, data = kernel.sys_recv(conn_fd, 4)
+        assert data == b"abcd"
+        count, data = kernel.sys_recv(conn_fd, 4)
+        assert data == b"ef"
+
+    def test_accept_without_pending_connection(self):
+        kernel = self.make_kernel([])
+        listen_fd = kernel.sys_listen()
+        assert kernel.sys_accept(listen_fd) == -1
+
+    def test_send_records_response(self):
+        kernel = self.make_kernel([b"x"])
+        listen_fd = kernel.sys_listen()
+        kernel.sys_select()
+        conn_fd = kernel.sys_accept(listen_fd)
+        assert kernel.sys_send(conn_fd, b"pong") == 4
+
+    def test_workload_finished_after_drain_and_idle(self):
+        kernel = self.make_kernel([b"zz"])
+        listen_fd = kernel.sys_listen()
+        kernel.sys_select()
+        conn_fd = kernel.sys_accept(listen_fd)
+        kernel.sys_recv(conn_fd, 10)
+        assert kernel.workload_finished()
+
+    def test_syscall_trace_sequencing(self):
+        kernel = self.make_kernel([b"q"])
+        kernel.sys_listen()
+        kernel.sys_select()
+        sequences = [event.sequence for event in kernel.trace]
+        assert sequences == sorted(sequences)

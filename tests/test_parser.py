@@ -1,0 +1,218 @@
+"""Unit tests for the MiniC parser and AST structure."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    ArrayIndex,
+    Assign,
+    BinaryOp,
+    Block,
+    Call,
+    ForStmt,
+    FunctionDef,
+    Identifier,
+    IfStmt,
+    IntLiteral,
+    ReturnStmt,
+    StringLiteral,
+    TernaryOp,
+    UnaryOp,
+    VarDecl,
+    WhileStmt,
+    iter_branch_statements,
+)
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_program
+
+
+def parse_main(body: str):
+    unit = parse_program("int main() { " + body + " }")
+    return unit.functions[0].body.statements
+
+
+class TestTopLevel:
+    def test_function_definition(self):
+        unit = parse_program("int add(int a, int b) { return a + b; }")
+        assert len(unit.functions) == 1
+        fn = unit.functions[0]
+        assert fn.name == "add"
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_void_parameter_list(self):
+        unit = parse_program("int f(void) { return 0; }")
+        assert unit.functions[0].params == []
+
+    def test_pointer_types(self):
+        unit = parse_program("int main(int argc, char **argv) { return 0; }")
+        assert unit.functions[0].params[1].type_name.pointer_depth == 2
+
+    def test_global_declaration(self):
+        unit = parse_program("int counter; int main() { return 0; }")
+        assert len(unit.globals) == 1
+        assert unit.globals[0].decl.declarators[0].name == "counter"
+
+    def test_global_array(self):
+        unit = parse_program("char BUF[128]; int main() { return 0; }")
+        decl = unit.globals[0].decl.declarators[0]
+        assert decl.is_array
+        assert isinstance(decl.array_size, IntLiteral)
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { return 0 }")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { return 0;")
+
+
+class TestStatements:
+    def test_variable_declaration_with_init(self):
+        stmts = parse_main("int x = 5;")
+        assert isinstance(stmts[0], VarDecl)
+        assert stmts[0].declarators[0].init.value == 5
+
+    def test_multiple_declarators(self):
+        stmts = parse_main("int a, b, c;")
+        assert [d.name for d in stmts[0].declarators] == ["a", "b", "c"]
+
+    def test_array_declaration(self):
+        stmts = parse_main("char buf[64];")
+        assert stmts[0].declarators[0].is_array
+
+    def test_assignment(self):
+        stmts = parse_main("x = 1;")
+        assert isinstance(stmts[0], Assign)
+
+    def test_compound_assignment_desugars(self):
+        stmts = parse_main("x += 2;")
+        assign = stmts[0]
+        assert isinstance(assign, Assign)
+        assert isinstance(assign.value, BinaryOp)
+        assert assign.value.op == "+"
+
+    def test_if_else(self):
+        stmts = parse_main("if (x) { y = 1; } else { y = 2; }")
+        assert isinstance(stmts[0], IfStmt)
+        assert stmts[0].otherwise is not None
+
+    def test_if_without_else(self):
+        stmts = parse_main("if (x) y = 1;")
+        assert stmts[0].otherwise is None
+
+    def test_while_loop(self):
+        stmts = parse_main("while (i < 10) i = i + 1;")
+        assert isinstance(stmts[0], WhileStmt)
+
+    def test_for_loop_with_declaration(self):
+        stmts = parse_main("for (int i = 0; i < 3; i = i + 1) { total = total + i; }")
+        loop = stmts[0]
+        assert isinstance(loop, ForStmt)
+        assert isinstance(loop.init, VarDecl)
+        assert loop.cond is not None
+        assert loop.update is not None
+
+    def test_for_loop_without_condition(self):
+        stmts = parse_main("for (;;) { break; }")
+        assert stmts[0].cond is None
+
+    def test_return_without_value(self):
+        stmts = parse_main("return;")
+        assert isinstance(stmts[0], ReturnStmt)
+        assert stmts[0].value is None
+
+    def test_empty_statement(self):
+        stmts = parse_main(";")
+        assert isinstance(stmts[0], Block)
+        assert stmts[0].statements == []
+
+
+class TestExpressions:
+    def expr_of(self, text):
+        stmts = parse_main(f"x = {text};")
+        return stmts[0].value
+
+    def test_precedence_multiplication_over_addition(self):
+        expr = self.expr_of("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        expr = self.expr_of("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_comparison_chain(self):
+        expr = self.expr_of("a < b == c")
+        assert expr.op == "=="
+
+    def test_logical_operators(self):
+        expr = self.expr_of("a && b || c")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_unary_minus_and_not(self):
+        expr = self.expr_of("-a + !b")
+        assert isinstance(expr.left, UnaryOp)
+        assert expr.left.op == "-"
+        assert expr.right.op == "!"
+
+    def test_ternary(self):
+        expr = self.expr_of("a ? b : c")
+        assert isinstance(expr, TernaryOp)
+
+    def test_array_indexing(self):
+        expr = self.expr_of("buf[i + 1]")
+        assert isinstance(expr, ArrayIndex)
+
+    def test_nested_indexing(self):
+        expr = self.expr_of("argv[1][0]")
+        assert isinstance(expr, ArrayIndex)
+        assert isinstance(expr.base, ArrayIndex)
+
+    def test_function_call_with_args(self):
+        expr = self.expr_of("f(1, x, g(2))")
+        assert isinstance(expr, Call)
+        assert len(expr.args) == 3
+        assert isinstance(expr.args[2], Call)
+
+    def test_address_of_and_dereference(self):
+        expr = self.expr_of("*p + 0")
+        assert expr.left.op == "*"
+
+    def test_string_literal_expression(self):
+        expr = self.expr_of('"hi"')
+        assert isinstance(expr, StringLiteral)
+
+    def test_post_increment_desugars_to_assignment(self):
+        stmts = parse_main("i++;")
+        assert isinstance(stmts[0], Assign)
+
+    def test_cast_is_ignored(self):
+        expr = self.expr_of("(int) x")
+        assert isinstance(expr, Identifier)
+
+    def test_sizeof_is_constant(self):
+        expr = self.expr_of("sizeof(int)")
+        assert isinstance(expr, IntLiteral)
+
+
+class TestBranchEnumeration:
+    def test_branch_statements_found(self):
+        unit = parse_program("""
+            int main() {
+                int i;
+                if (1) { i = 0; }
+                while (i < 3) { i = i + 1; }
+                for (i = 0; i < 2; i = i + 1) { }
+                for (;;) { break; }
+                return 0;
+            }
+        """)
+        branches = list(iter_branch_statements(unit.functions[0].body))
+        # The condition-less for loop is not a branch location.
+        assert len(branches) == 3
+
+    def test_node_ids_are_unique(self):
+        unit = parse_program("int main() { int a = 1; int b = 2; return a + b; }")
+        ids = [node.node_id for node in unit.walk()]
+        assert len(ids) == len(set(ids))

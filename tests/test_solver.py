@@ -1,0 +1,124 @@
+"""Tests for the small-domain constraint solver."""
+
+import pytest
+
+from repro.symbolic.constraints import ConstraintSet
+from repro.symbolic.expr import sym_bin, sym_const, sym_var
+from repro.symbolic.solver import solve
+
+
+def make_set(*exprs):
+    cs = ConstraintSet()
+    for expr in exprs:
+        cs.add_expr(expr)
+    return cs
+
+
+A = sym_var("a")
+B = sym_var("b")
+C = sym_var("c")
+
+
+class TestBasicSolving:
+    def test_empty_set_is_satisfiable(self):
+        result = solve(make_set())
+        assert result.satisfiable
+
+    def test_single_equality(self):
+        result = solve(make_set(sym_bin("==", A, sym_const(ord("G")))))
+        assert result.satisfiable
+        assert result.assignment["a"] == ord("G")
+
+    def test_conjunction_of_equalities(self):
+        cs = make_set(sym_bin("==", A, sym_const(10)),
+                      sym_bin("==", B, sym_const(20)))
+        result = solve(cs)
+        assert result.assignment == {"a": 10, "b": 20}
+
+    def test_inequality_chain(self):
+        cs = make_set(sym_bin(">", A, sym_const(250)),
+                      sym_bin("!=", A, sym_const(255)))
+        result = solve(cs)
+        assert result.satisfiable
+        assert result.assignment["a"] in (251, 252, 253, 254)
+
+    def test_unsatisfiable_equalities(self):
+        cs = make_set(sym_bin("==", A, sym_const(1)),
+                      sym_bin("==", A, sym_const(2)))
+        result = solve(cs)
+        assert not result.satisfiable
+        assert result.assignment is None
+
+    def test_trivially_false_constant(self):
+        cs = make_set(sym_bin("==", sym_const(0), sym_const(1)))
+        assert not solve(cs).satisfiable
+
+    def test_out_of_domain_is_unsat(self):
+        cs = make_set(sym_bin("==", A, sym_const(300)))
+        assert not solve(cs).satisfiable
+
+
+class TestMultiVariable:
+    def test_relation_between_variables(self):
+        cs = make_set(sym_bin("<", A, B), sym_bin("==", B, sym_const(3)))
+        result = solve(cs)
+        assert result.satisfiable
+        assert result.assignment["a"] < 3
+
+    def test_arithmetic_relation(self):
+        cs = make_set(sym_bin("==", sym_bin("+", A, B), sym_const(10)),
+                      sym_bin("==", A, sym_const(4)))
+        result = solve(cs)
+        assert result.assignment["b"] == 6
+
+    def test_three_variables(self):
+        cs = make_set(sym_bin("==", A, sym_const(ord("G"))),
+                      sym_bin("==", B, sym_const(ord("E"))),
+                      sym_bin("==", C, sym_const(ord("T"))))
+        result = solve(cs)
+        assert bytes([result.assignment["a"], result.assignment["b"],
+                      result.assignment["c"]]) == b"GET"
+
+    def test_negated_prefix_path(self):
+        # The concolic "flip": same prefix, negated last constraint.
+        cs = make_set(sym_bin("==", A, sym_const(ord("a"))),
+                      sym_bin("!=", B, sym_const(ord("b"))))
+        result = solve(cs)
+        assert result.assignment["a"] == ord("a")
+        assert result.assignment["b"] != ord("b")
+
+
+class TestHintsAndExtras:
+    def test_hint_is_preferred_when_consistent(self):
+        cs = make_set(sym_bin(">", A, sym_const(10)))
+        result = solve(cs, hint={"a": 42})
+        assert result.assignment["a"] == 42
+
+    def test_hint_is_overridden_when_inconsistent(self):
+        cs = make_set(sym_bin("==", A, sym_const(7)))
+        result = solve(cs, hint={"a": 42})
+        assert result.assignment["a"] == 7
+
+    def test_extra_variables_receive_values(self):
+        cs = make_set(sym_bin("==", A, sym_const(1)))
+        result = solve(cs, extra_variables=[sym_var("z")])
+        assert "z" in result.assignment
+
+    def test_signed_domain_variable(self):
+        ret = sym_var("ret", -1, 64)
+        cs = make_set(sym_bin("<", ret, sym_const(0)))
+        result = solve(cs)
+        assert result.assignment["ret"] == -1
+
+    def test_node_budget_reported(self):
+        # An adversarial instance that cannot be satisfied, with a tiny budget.
+        cs = make_set(sym_bin("==", sym_bin("+", A, sym_bin("+", B, C)),
+                              sym_const(1000)))
+        result = solve(cs, node_budget=10)
+        assert not result.satisfiable
+        assert result.stats.budget_exhausted or result.stats.nodes <= 10
+
+    def test_stats_populated(self):
+        cs = make_set(sym_bin("==", A, sym_const(5)))
+        result = solve(cs)
+        assert result.stats.wall_seconds >= 0.0

@@ -1,0 +1,178 @@
+"""Tests for symbolic expressions, simplification and constraint sets."""
+
+import pytest
+
+from repro.symbolic.constraints import Constraint, ConstraintSet
+from repro.symbolic.expr import (
+    SymBinOp,
+    SymConst,
+    SymUnOp,
+    SymVar,
+    as_condition,
+    sym_and,
+    sym_bin,
+    sym_const,
+    sym_not,
+    sym_var,
+)
+from repro.symbolic.simplify import evaluate, simplify, substitute, variables
+
+
+X = sym_var("x")
+Y = sym_var("y")
+
+
+class TestExpressions:
+    def test_constants_are_hashable_and_equal(self):
+        assert sym_const(3) == sym_const(3)
+        assert hash(sym_const(3)) == hash(sym_const(3))
+
+    def test_variable_domain(self):
+        var = sym_var("b", 0, 255)
+        assert var.domain_size == 256
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            sym_var("bad", 5, 1)
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ValueError):
+            sym_bin("**", X, Y)
+
+    def test_negation_of_comparison(self):
+        expr = sym_bin("<", X, sym_const(5))
+        assert expr.negated() == sym_bin(">=", X, sym_const(5))
+
+    def test_double_negation_of_not(self):
+        expr = sym_not(sym_bin("==", X, sym_const(1)))
+        assert expr.negated() == sym_bin("==", X, sym_const(1))
+
+    def test_de_morgan_on_and(self):
+        expr = sym_bin("&&", sym_bin("<", X, Y), sym_bin("==", X, sym_const(0)))
+        negated = expr.negated()
+        assert negated.op == "||"
+
+    def test_as_condition_wraps_non_boolean(self):
+        cond = as_condition(X)
+        assert cond == sym_bin("!=", X, sym_const(0))
+
+    def test_as_condition_keeps_boolean(self):
+        expr = sym_bin("<", X, Y)
+        assert as_condition(expr) is expr
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        expr = sym_bin("+", sym_bin("*", X, sym_const(3)), Y)
+        assert evaluate(expr, {"x": 4, "y": 2}) == 14
+
+    def test_c_style_division_truncates_toward_zero(self):
+        expr = sym_bin("/", X, sym_const(2))
+        assert evaluate(expr, {"x": -7}) == -3
+
+    def test_c_style_modulo_sign(self):
+        expr = sym_bin("%", X, sym_const(3))
+        assert evaluate(expr, {"x": -7}) == -1
+
+    def test_comparison_and_logic(self):
+        expr = sym_bin("&&", sym_bin("<", X, Y), sym_bin("!=", Y, sym_const(0)))
+        assert evaluate(expr, {"x": 1, "y": 2}) == 1
+        assert evaluate(expr, {"x": 3, "y": 2}) == 0
+
+    def test_short_circuit_avoids_division_by_zero(self):
+        expr = sym_bin("&&", sym_bin("!=", Y, sym_const(0)),
+                       sym_bin(">", sym_bin("/", X, Y), sym_const(0)))
+        assert evaluate(expr, {"x": 4, "y": 0}) == 0
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate(X, {})
+
+
+class TestSimplification:
+    def test_constant_folding(self):
+        expr = sym_bin("+", sym_const(2), sym_bin("*", sym_const(3), sym_const(4)))
+        assert simplify(expr) == sym_const(14)
+
+    def test_add_zero_identity(self):
+        assert simplify(sym_bin("+", X, sym_const(0))) == X
+
+    def test_multiply_by_zero(self):
+        assert simplify(sym_bin("*", X, sym_const(0))) == sym_const(0)
+
+    def test_multiply_by_one(self):
+        assert simplify(sym_bin("*", sym_const(1), X)) == X
+
+    def test_and_with_true(self):
+        expr = sym_bin("&&", sym_const(1), sym_bin("<", X, Y))
+        assert simplify(expr) == sym_bin("<", X, Y)
+
+    def test_or_with_false(self):
+        expr = sym_bin("||", sym_const(0), sym_bin("<", X, Y))
+        assert simplify(expr) == sym_bin("<", X, Y)
+
+    def test_compare_identical_subtrees(self):
+        assert simplify(sym_bin("==", X, X)) == sym_const(1)
+        assert simplify(sym_bin("<", X, X)) == sym_const(0)
+
+    def test_simplify_is_idempotent(self):
+        expr = sym_bin("+", sym_bin("*", X, sym_const(1)), sym_const(0))
+        once = simplify(expr)
+        assert simplify(once) == once
+
+    def test_substitute_partial(self):
+        expr = sym_bin("+", X, Y)
+        assert substitute(expr, {"x": 5}) == sym_bin("+", sym_const(5), Y)
+
+    def test_variables_extraction(self):
+        expr = sym_bin("+", X, sym_bin("*", Y, X))
+        assert {v.name for v in variables(expr)} == {"x", "y"}
+
+
+class TestConstraintSet:
+    def test_ordering_preserved(self):
+        cs = ConstraintSet()
+        cs.add_expr(sym_bin("==", X, sym_const(1)))
+        cs.add_expr(sym_bin("<", Y, sym_const(5)))
+        assert len(cs) == 2
+        assert str(cs[0].expr) == "(x == 1)"
+
+    def test_extended_does_not_mutate_original(self):
+        cs = ConstraintSet()
+        cs.add_expr(sym_bin("==", X, sym_const(1)))
+        extended = cs.extended(Constraint(sym_bin("==", Y, sym_const(2))))
+        assert len(cs) == 1
+        assert len(extended) == 2
+
+    def test_satisfied_by(self):
+        cs = ConstraintSet()
+        cs.add_expr(sym_bin("==", X, sym_const(1)))
+        cs.add_expr(sym_bin(">", Y, sym_const(3)))
+        assert cs.satisfied_by({"x": 1, "y": 4})
+        assert not cs.satisfied_by({"x": 1, "y": 3})
+        assert not cs.satisfied_by({"x": 1})
+
+    def test_trivially_unsat(self):
+        cs = ConstraintSet()
+        cs.add_expr(sym_bin("==", sym_const(1), sym_const(2)))
+        assert cs.is_trivially_unsat()
+
+    def test_with_negated_last(self):
+        cs = ConstraintSet()
+        cs.add_expr(sym_bin("==", X, sym_const(1)))
+        cs.add_expr(sym_bin("==", Y, sym_const(2)))
+        flipped = cs.with_negated_last()
+        assert str(flipped[1].expr) == "(y != 2)"
+
+    def test_prefix(self):
+        cs = ConstraintSet()
+        for value in range(5):
+            cs.add_expr(sym_bin("!=", X, sym_const(value)))
+        assert len(cs.prefix(3)) == 3
+
+    def test_all_variables_deduplicated(self):
+        cs = ConstraintSet()
+        cs.add_expr(sym_bin("==", X, sym_const(1)))
+        cs.add_expr(sym_bin("<", X, Y))
+        names = sorted(v.name for v in cs.all_variables())
+        assert names == ["x", "y"]

@@ -1,0 +1,137 @@
+"""Tests for the coreutils workloads (§5.2): behaviour, bugs and reproduction."""
+
+import pytest
+
+from repro import (
+    ConcolicBudget,
+    InstrumentationMethod,
+    Pipeline,
+    PipelineConfig,
+    ReplayBudget,
+)
+from repro.interp.inputs import ExecutionMode
+from repro.workloads.coreutils import ALL_PROGRAMS, mkdir, mkfifo, mknod, paste
+from tests.conftest import run_source
+
+
+class TestBehaviour:
+    def test_mkdir_creates_directories(self):
+        result, _, interp = run_source(mkdir.SOURCE, ["mkdir", "-p", "a/b", "-v", "c"])
+        assert result.exit_code == 0
+        assert interp.kernel.fs.is_dir("/a/b")
+        assert interp.kernel.fs.is_dir("/c")
+        assert "created directory" in result.stdout
+
+    def test_mkdir_reports_duplicate(self):
+        result, _, interp = run_source(mkdir.SOURCE, ["mkdir", "x", "x"])
+        assert result.exit_code == 1
+        assert "cannot create" in result.stdout
+
+    def test_mkdir_invalid_mode(self):
+        result, _, _ = run_source(mkdir.SOURCE, ["mkdir", "-m", "9x", "dir"])
+        assert result.exit_code == 1
+        assert "invalid mode" in result.stdout
+
+    def test_mknod_creates_fifo_node(self):
+        result, _, interp = run_source(mknod.SOURCE, ["mknod", "-m", "0644", "pipe0", "p"])
+        assert result.exit_code == 0
+        assert interp.kernel.fs.exists("/pipe0")
+
+    def test_mknod_block_device_with_numbers(self):
+        result, _, _ = run_source(mknod.SOURCE, ["mknod", "disk", "b", "8", "1"])
+        assert result.exit_code == 0
+
+    def test_mknod_rejects_unknown_type(self):
+        result, _, _ = run_source(mknod.SOURCE, ["mknod", "thing", "q"])
+        assert result.exit_code == 1
+        assert "invalid type" in result.stdout
+
+    def test_mkfifo_creates_pipes(self):
+        result, _, interp = run_source(mkfifo.SOURCE, ["mkfifo", "p1", "p2"])
+        assert result.exit_code == 0
+        assert interp.kernel.fs.exists("/p1")
+        assert interp.kernel.fs.exists("/p2")
+
+    def test_mkfifo_valid_short_mode(self):
+        result, _, _ = run_source(mkfifo.SOURCE, ["mkfifo", "-m", "644", "p"])
+        assert result.exit_code == 0
+
+    def test_paste_joins_lines(self):
+        files = {"/a.txt": b"1\n2\n", "/b.txt": b"x\ny\n"}
+        result, _, _ = run_source(paste.SOURCE, ["paste", "-d,", "/a.txt", "/b.txt"],
+                                  files=files)
+        assert result.exit_code == 0
+        assert "1,2" in result.stdout
+
+    def test_paste_missing_file(self):
+        result, _, _ = run_source(paste.SOURCE, ["paste", "/nope"])
+        assert result.exit_code == 1
+        assert "cannot open" in result.stdout
+
+
+class TestCrashBugs:
+    @pytest.mark.parametrize("name,module", sorted(ALL_PROGRAMS.items()))
+    def test_bug_scenarios_crash(self, name, module):
+        env = module.bug_scenario()
+        result, _, _ = run_source(module.SOURCE, env.argv)
+        assert result.crashed, f"{name} bug scenario did not crash"
+
+    @pytest.mark.parametrize("name,module", sorted(ALL_PROGRAMS.items()))
+    def test_benign_scenarios_do_not_crash(self, name, module):
+        env = module.benign_scenario()
+        result, _, _ = run_source(module.SOURCE, env.argv,
+                                  files=getattr(env.make_kernel().fs, "snapshot")())
+        assert not result.crashed, f"{name} benign scenario crashed"
+
+    def test_paste_bug_matches_paper_command(self):
+        env = paste.bug_scenario()
+        assert env.argv[1] == "-d\\"
+        result, _, _ = run_source(paste.SOURCE, env.argv)
+        assert result.crashed
+        assert result.crash.function == "collect_delimiters"
+
+
+class TestBranchAssumptions:
+    """The two §5.2 assumptions: few symbolic locations, and no mixed locations."""
+
+    @pytest.mark.parametrize("name,module", sorted(ALL_PROGRAMS.items()))
+    def test_symbolic_locations_are_a_minority(self, name, module):
+        env = module.benign_scenario()
+        result, trace, _ = run_source(module.SOURCE, env.argv,
+                                      files=env.make_kernel().fs.snapshot(),
+                                      mode=ExecutionMode.ANALYZE)
+        visited = len(trace.visited_locations())
+        symbolic = len(trace.symbolic_locations())
+        assert visited > 0
+        assert symbolic <= visited
+
+    @pytest.mark.parametrize("name,module", sorted(ALL_PROGRAMS.items()))
+    def test_mixed_branch_locations_are_rare(self, name, module):
+        # The paper's second assumption: a branch location is "almost always"
+        # executed either always-symbolic or always-concrete.  A small number
+        # of mixed locations (e.g. a loop whose final iteration tests the
+        # concrete NUL terminator) is tolerated, as in the paper's Figure 3.
+        env = module.benign_scenario()
+        _, trace, _ = run_source(module.SOURCE, env.argv,
+                                 files=env.make_kernel().fs.snapshot(),
+                                 mode=ExecutionMode.ANALYZE)
+        assert len(trace.mixed_locations()) <= 2
+
+
+class TestReproduction:
+    """Table 1: the crash bugs are reproduced quickly by every configuration."""
+
+    @pytest.mark.parametrize("name,module", sorted(ALL_PROGRAMS.items()))
+    def test_bug_reproduced_with_combined_method(self, name, module):
+        config = PipelineConfig(
+            concolic_budget=ConcolicBudget(max_iterations=16, max_seconds=6),
+            replay_budget=ReplayBudget(max_runs=250, max_seconds=15),
+        )
+        pipeline = Pipeline.from_source(module.SOURCE, name=name, config=config)
+        env = module.bug_scenario()
+        analysis = pipeline.analyze(env)
+        plan = pipeline.make_plan(InstrumentationMethod.DYNAMIC_PLUS_STATIC, analysis)
+        recording = pipeline.record(plan, env)
+        assert recording.crashed
+        report = pipeline.reproduce(recording)
+        assert report.reproduced, f"{name}: {report.outcome.summary()}"

@@ -1,0 +1,178 @@
+"""Tests for the uServer and diff workloads (§5.3, §5.4)."""
+
+import pytest
+
+from repro import (
+    ConcolicBudget,
+    InstrumentationMethod,
+    Pipeline,
+    PipelineConfig,
+    ReplayBudget,
+)
+from repro.interp.inputs import ExecutionMode
+from repro.workloads import diffutil, httpgen, userver
+from tests.conftest import run_source
+
+
+class TestHttpGen:
+    def test_get_request_shape(self):
+        data = httpgen.get_request("/x", cookie="sid=1")
+        assert data.startswith(b"GET /x HTTP/1.1\r\n")
+        assert b"Cookie: sid=1\r\n" in data
+        assert data.endswith(b"\r\n\r\n")
+
+    def test_post_request_has_content_length(self):
+        data = httpgen.post_request("/submit", body=b"abcde")
+        assert b"Content-Length: 5" in data
+        assert data.endswith(b"abcde")
+
+    def test_uniform_and_mixed_workloads(self):
+        assert len(httpgen.uniform_workload(7)) == 7
+        mixed = httpgen.mixed_workload(10)
+        assert any(request.startswith(b"POST") for request in mixed)
+        assert any(request.startswith(b"HEAD") for request in mixed)
+
+    @pytest.mark.parametrize("number", httpgen.ALL_SCENARIOS)
+    def test_all_scenarios_render(self, number):
+        requests = httpgen.scenario_requests(number)
+        assert requests and all(isinstance(r, bytes) for r in requests)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            httpgen.scenario_requests(9)
+
+
+def run_userver(requests, mode=ExecutionMode.RECORD):
+    return run_source(userver.SOURCE, ["userver"], requests=requests, mode=mode)
+
+
+class TestUServerBehaviour:
+    def test_serves_get_request(self):
+        result, _, interp = run_userver([httpgen.get_request("/index.html")])
+        responses = interp.kernel.net.responses()
+        assert any(b"200 OK" in data for data in responses.values())
+        assert "served=1" in result.stdout
+
+    def test_missing_page_gets_404(self):
+        result, _, interp = run_userver([httpgen.get_request("/missing")])
+        assert any(b"404" in data for data in interp.kernel.net.responses().values())
+
+    def test_bad_method_gets_400(self):
+        _, _, interp = run_userver([httpgen.bad_request()])
+        assert any(b"400" in data for data in interp.kernel.net.responses().values())
+
+    def test_post_without_length_gets_411(self):
+        raw = b"POST /x HTTP/1.1\r\nHost: h\r\n\r\n"
+        _, _, interp = run_userver([raw])
+        assert any(b"411" in data for data in interp.kernel.net.responses().values())
+
+    def test_cookie_gets_set_cookie_response(self):
+        _, _, interp = run_userver([httpgen.get_request("/", cookie="sid=9")])
+        assert any(b"Set-Cookie" in data for data in interp.kernel.net.responses().values())
+
+    def test_traversal_rejected(self):
+        _, _, interp = run_userver([httpgen.get_request("/../etc/passwd")])
+        assert any(b"400" in data for data in interp.kernel.net.responses().values())
+
+    def test_crashes_after_workload(self):
+        result, _, _ = run_userver([httpgen.get_request("/")])
+        assert result.crashed
+        assert result.crash.function == "main"
+
+    def test_branch_behavior_mostly_concrete(self):
+        """Figure 3's shape: symbolic executions are a small minority and most
+        branch executions happen in the library helpers."""
+
+        result, trace, _ = run_userver(httpgen.mixed_workload(6),
+                                       mode=ExecutionMode.ANALYZE)
+        assert result.branch_executions > 0
+        symbolic_fraction = (result.symbolic_branch_executions
+                             / result.branch_executions)
+        assert symbolic_fraction < 0.35
+        library_executions = sum(
+            count for location, count in trace.executions.items()
+            if location.function in userver.LIBRARY_FUNCTIONS)
+        assert library_executions / result.branch_executions > 0.5
+
+
+class TestDiffBehaviour:
+    def test_identical_files(self):
+        env = diffutil.identical_scenario()
+        result, _, _ = run_source(diffutil.SOURCE, env.argv,
+                                  files=env.make_kernel().fs.snapshot())
+        assert "files are identical" in result.stdout
+
+    def test_single_change_detected(self):
+        env = diffutil.experiment_1()
+        result, _, _ = run_source(diffutil.SOURCE, env.argv,
+                                  files=env.make_kernel().fs.snapshot())
+        assert "1 difference(s)" in result.stdout
+        assert "< charlie" in result.stdout
+        assert "> charly" in result.stdout
+
+    def test_insertion_and_deletion_resync(self):
+        env = diffutil.experiment_2()
+        result, _, _ = run_source(diffutil.SOURCE, env.argv,
+                                  files=env.make_kernel().fs.snapshot())
+        assert "> 2.5" in result.stdout
+
+    def test_missing_file_exits(self):
+        result, _, _ = run_source(diffutil.SOURCE, ["diff", "/a", "/b"])
+        assert result.exit_code == 2
+
+    def test_diff_is_input_intensive(self):
+        """A large share of diff's branch *executions* depend on file contents
+        (the per-character copy and compare loops)."""
+
+        env = diffutil.experiment_1()
+        result, trace, _ = run_source(diffutil.SOURCE, env.argv,
+                                      files=env.make_kernel().fs.snapshot(),
+                                      mode=ExecutionMode.ANALYZE)
+        assert len(trace.symbolic_locations()) >= 2
+        ratio = result.symbolic_branch_executions / result.branch_executions
+        assert ratio > 0.25
+
+
+class TestServerReproductionShape:
+    """A scaled-down version of the Table 3 / Table 6 comparison: the combined
+    method reproduces the execution, while the dynamic method (with a tiny
+    exploration budget and therefore low coverage) fails within the same
+    replay budget."""
+
+    def make_pipeline(self):
+        config = PipelineConfig(library_functions=set(userver.LIBRARY_FUNCTIONS),
+                                concolic_budget=ConcolicBudget(max_iterations=4,
+                                                               max_seconds=4,
+                                                               label="LC"),
+                                replay_budget=ReplayBudget(max_runs=250, max_seconds=25))
+        return Pipeline.from_source(userver.SOURCE, name="userver", config=config)
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        pipeline = self.make_pipeline()
+        # Analysis workload: plain GETs; the experiment uses a POST request,
+        # whose Content-Length handling the dynamic analysis never saw.
+        analysis_env = userver.saturation_workload(2)
+        analysis = pipeline.analyze(analysis_env)
+        experiment_env = userver.experiment(4)
+        return pipeline, analysis, experiment_env
+
+    def test_combined_reproduces_and_dynamic_struggles(self, setup):
+        pipeline, analysis, env = setup
+        dynamic_plan = pipeline.make_plan(InstrumentationMethod.DYNAMIC, analysis)
+        combined_plan = pipeline.make_plan(InstrumentationMethod.DYNAMIC_PLUS_STATIC, analysis)
+        assert dynamic_plan.instrumented_count() < combined_plan.instrumented_count()
+
+        stats = pipeline.branch_logging_stats(dynamic_plan, env)
+        combined_stats = pipeline.branch_logging_stats(combined_plan, env)
+        # The dynamic plan leaves more symbolic branch executions unlogged.
+        assert stats.not_logged_executions >= combined_stats.not_logged_executions
+        assert stats.not_logged_locations >= 1
+
+        combined_recording = pipeline.record(combined_plan, env)
+        assert combined_recording.crashed
+        combined_report = pipeline.reproduce(combined_recording)
+        assert combined_report.reproduced
+        # The combined run leaves nothing unlogged, so its replay never has to
+        # explore alternatives at unlogged symbolic branches.
+        assert combined_report.outcome.symbolic_not_logged_locations == 0
