@@ -1,7 +1,13 @@
-"""Developer smoke test for the substrate (not part of the test suite)."""
+"""Developer smoke test for the execution substrate (not part of the suite).
+
+Runs the same program on both execution backends — the tree-walking
+interpreter and the bytecode VM — and checks they agree on every observable
+(exit code, steps, branch events, symbolic locations, bound inputs, stdout).
+"""
 
 from repro.lang.program import Program
-from repro.interp.interpreter import ExecutionConfig, Interpreter
+from repro.interp.backend import BACKENDS, create_backend
+from repro.interp.interpreter import ExecutionConfig
 from repro.interp.inputs import ExecutionMode, InputBinder
 from repro.interp.tracer import TraceRecorder
 from repro.osmodel.kernel import Kernel, KernelConfig
@@ -28,22 +34,41 @@ int main(int argc, char **argv) {
 """
 
 
+def run_one(program: Program, backend: str) -> dict:
+    kernel = Kernel(config=KernelConfig(stdin_data=b"b"))
+    recorder = TraceRecorder()
+    executor = create_backend(program, kernel=kernel, hooks=recorder,
+                              binder=InputBinder(mode=ExecutionMode.ANALYZE),
+                              config=ExecutionConfig(mode=ExecutionMode.ANALYZE,
+                                                     backend=backend))
+    result = executor.run(["fib"])
+    print(f"[{backend}] exit:", result.exit_code, "steps:", result.steps,
+          "branches:", result.branch_executions,
+          "symbolic:", result.symbolic_branch_executions)
+    print(f"[{backend}] stdout:", result.stdout.strip())
+    print(f"[{backend}] symbolic locations:",
+          [b.short() for b in recorder.symbolic_locations()])
+    print(f"[{backend}] bound inputs:", executor.binder.assignment())
+    return {
+        "exit": result.exit_code,
+        "steps": result.steps,
+        "branches": result.branch_executions,
+        "stdout": result.stdout,
+        "events": [(e.location, e.taken, e.symbolic, str(e.condition))
+                   for e in recorder.events],
+        "inputs": executor.binder.assignment(),
+    }
+
+
 def main() -> None:
     program = Program.from_source(SOURCE, name="fib")
     print("branches:", [b.short() for b in program.branch_locations])
-
-    kernel = Kernel(config=KernelConfig(stdin_data=b"b"))
-    recorder = TraceRecorder()
-    interp = Interpreter(program, kernel=kernel, hooks=recorder,
-                         binder=InputBinder(mode=ExecutionMode.ANALYZE),
-                         config=ExecutionConfig(mode=ExecutionMode.ANALYZE))
-    result = interp.run(["fib"])
-    print("exit:", result.exit_code, "steps:", result.steps,
-          "branches:", result.branch_executions,
-          "symbolic:", result.symbolic_branch_executions)
-    print("stdout:", result.stdout.strip())
-    print("symbolic locations:", [b.short() for b in recorder.symbolic_locations()])
-    print("bound inputs:", interp.binder.assignment())
+    observations = {backend: run_one(program, backend) for backend in BACKENDS}
+    reference = observations[BACKENDS[0]]
+    for backend in BACKENDS[1:]:
+        assert observations[backend] == reference, (
+            f"backend {backend!r} diverged from {BACKENDS[0]!r}")
+    print("backends agree:", " == ".join(BACKENDS))
 
 
 if __name__ == "__main__":

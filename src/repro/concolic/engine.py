@@ -24,8 +24,9 @@ from repro.concolic.budget import ConcolicBudget
 from repro.concolic.hooks import ConcolicRunTrace
 from repro.concolic.labels import BranchLabels
 from repro.environment import Environment
+from repro.interp.backend import create_backend
 from repro.interp.inputs import ExecutionMode, InputBinder
-from repro.interp.interpreter import ExecutionConfig, ExecutionResult, Interpreter
+from repro.interp.interpreter import ExecutionConfig, ExecutionResult
 from repro.interp.tracer import TraceRecorder
 from repro.lang.program import Program
 from repro.symbolic.constraints import ConstraintSet
@@ -70,10 +71,12 @@ class ConcolicEngine:
     """Bounded concolic exploration of one program under one environment."""
 
     def __init__(self, program: Program, environment: Environment,
-                 budget: Optional[ConcolicBudget] = None) -> None:
+                 budget: Optional[ConcolicBudget] = None,
+                 backend: str = "interp") -> None:
         self.program = program
         self.environment = environment
         self.budget = budget or ConcolicBudget()
+        self.backend = backend
 
     # -- single profiled run (Figures 1 and 3) ----------------------------------------
 
@@ -152,10 +155,11 @@ class ConcolicEngine:
         kernel = self.environment.make_kernel()
         binder = InputBinder(mode=ExecutionMode.ANALYZE, overrides=dict(overrides))
         config = ExecutionConfig(mode=ExecutionMode.ANALYZE,
-                                 max_steps=self.budget.max_steps_per_run)
-        interpreter = Interpreter(self.program, kernel=kernel, hooks=trace,
+                                 max_steps=self.budget.max_steps_per_run,
+                                 backend=self.backend)
+        executor = create_backend(self.program, kernel=kernel, hooks=trace,
                                   binder=binder, config=config)
-        run_result = interpreter.run(self.environment.argv)
+        run_result = executor.run(self.environment.argv)
         return run_result, binder
 
     @staticmethod

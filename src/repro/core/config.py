@@ -33,6 +33,9 @@ class PipelineConfig:
     static_skips_library: bool = True
     replay_search_order: str = "dfs"
     record_max_steps: int = 10_000_000
+    # Execution engine used by every stage (record, replay, analysis):
+    # "interp" (tree-walking interpreter) or "vm" (bytecode VM).
+    backend: str = "interp"
 
     def static_skip_set(self) -> Set[str]:
         return set(self.library_functions) if self.static_skips_library else set()

@@ -22,8 +22,9 @@ from repro.instrument.logger import BranchLogger
 from repro.instrument.methods import InstrumentationMethod, build_plan
 from repro.instrument.overhead import OverheadModel
 from repro.instrument.plan import InstrumentationPlan
+from repro.interp.backend import create_backend
 from repro.interp.inputs import ExecutionMode, InputBinder
-from repro.interp.interpreter import ExecutionConfig, ExecutionResult, Interpreter
+from repro.interp.interpreter import ExecutionConfig, ExecutionResult
 from repro.interp.tracer import NullHooks, TraceRecorder
 from repro.lang.program import Program
 from repro.replay.budget import ReplayBudget
@@ -59,7 +60,8 @@ class Pipeline:
     def run_dynamic_analysis(self, environment: Environment,
                              budget: Optional[ConcolicBudget] = None) -> DynamicAnalysisResult:
         engine = ConcolicEngine(self.program, environment,
-                                budget or self.config.concolic_budget)
+                                budget or self.config.concolic_budget,
+                                backend=self.config.backend)
         return engine.explore()
 
     def run_static_analysis(self) -> StaticAnalysisResult:
@@ -83,7 +85,8 @@ class Pipeline:
         had an input-dependent condition.
         """
 
-        engine = ConcolicEngine(self.program, environment, self.config.concolic_budget)
+        engine = ConcolicEngine(self.program, environment, self.config.concolic_budget,
+                                backend=self.config.backend)
         return engine.profile_run()
 
     # -- instrumentation -----------------------------------------------------------------------
@@ -139,29 +142,31 @@ class Pipeline:
         return result.steps
 
     def _plain_run(self, environment: Environment) -> ExecutionResult:
-        interpreter = Interpreter(
+        executor = create_backend(
             self.program,
             kernel=environment.make_kernel(),
             hooks=NullHooks(),
             binder=InputBinder(mode=ExecutionMode.RECORD),
             config=ExecutionConfig(mode=ExecutionMode.RECORD,
-                                   max_steps=self.config.record_max_steps),
+                                   max_steps=self.config.record_max_steps,
+                                   backend=self.config.backend),
         )
-        return interpreter.run(environment.argv)
+        return executor.run(environment.argv)
 
     def record(self, plan: InstrumentationPlan, environment: Environment) -> RecordingResult:
         """Execute the instrumented program at the simulated user site."""
 
         logger = BranchLogger(plan)
-        interpreter = Interpreter(
+        executor = create_backend(
             self.program,
             kernel=environment.make_kernel(),
             hooks=logger,
             binder=InputBinder(mode=ExecutionMode.RECORD),
             config=ExecutionConfig(mode=ExecutionMode.RECORD,
-                                   max_steps=self.config.record_max_steps),
+                                   max_steps=self.config.record_max_steps,
+                                   backend=self.config.backend),
         )
-        execution = interpreter.run(environment.argv)
+        execution = executor.run(environment.argv)
         baseline = self.baseline_steps(environment)
         overhead = self.overhead_model.report(
             method=plan.method,
@@ -209,6 +214,7 @@ class Pipeline:
             environment=recording.environment.scaffold(),
             budget=budget or self.config.replay_budget,
             search_order=search_order or self.config.replay_search_order,
+            backend=self.config.backend,
         )
         outcome = engine.reproduce()
         return ReplayReport(method=recording.plan.method, outcome=outcome,

@@ -13,9 +13,16 @@ configurations fail — is what the generators reproduce.
 """
 
 from repro.experiments.formatting import format_table, print_table
-from repro.experiments import coreutils_exp, diff_exp, micro_exp, userver_exp
+from repro.experiments import (
+    backend_exp,
+    coreutils_exp,
+    diff_exp,
+    micro_exp,
+    userver_exp,
+)
 
 __all__ = [
+    "backend_exp",
     "coreutils_exp",
     "diff_exp",
     "format_table",

@@ -15,6 +15,7 @@ objects; "concrete execution" is simply the case where no value carries a
 symbolic expression.
 """
 
+from repro.interp.backend import BACKENDS, Backend, create_backend
 from repro.interp.builtins import BUILTIN_NAMES, INPUT_RETURNING_BUILTINS
 from repro.interp.inputs import ExecutionMode, InputBinder
 from repro.interp.interpreter import ExecutionConfig, ExecutionResult, Interpreter
@@ -23,7 +24,9 @@ from repro.interp.values import ArrayObject, ConcolicValue, Pointer
 
 __all__ = [
     "ArrayObject",
+    "BACKENDS",
     "BUILTIN_NAMES",
+    "Backend",
     "BranchEvent",
     "ConcolicValue",
     "ExecutionConfig",
@@ -36,4 +39,5 @@ __all__ = [
     "NullHooks",
     "Pointer",
     "TraceRecorder",
+    "create_backend",
 ]

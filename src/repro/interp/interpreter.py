@@ -33,8 +33,8 @@ from repro.interp.values import (
     ZERO,
     as_int,
     binary_int_op,
-    compare_values,
     concrete,
+    pointer_binary_op,
     string_to_array,
     unary_int_op,
 )
@@ -104,7 +104,7 @@ class CrashSite:
 
 @dataclass
 class ExecutionConfig:
-    """Per-run interpreter limits and mode switches."""
+    """Per-run execution limits and mode switches (backend-independent)."""
 
     mode: ExecutionMode = ExecutionMode.RECORD
     max_steps: int = 5_000_000
@@ -113,6 +113,9 @@ class ExecutionConfig:
     # syscall kind, return the next recorded result (or None to fall through
     # to the symbolic model).
     syscall_result_provider: Optional[Callable[[SyscallKind], Optional[int]]] = None
+    # Which execution engine runs the program: the tree-walking interpreter
+    # ("interp") or the bytecode VM ("vm").  See repro.interp.backend.
+    backend: str = "interp"
 
 
 @dataclass
@@ -143,6 +146,78 @@ class AbortRun(Exception):
     def __init__(self, reason: str = "") -> None:
         super().__init__(reason or "run aborted")
         self.reason = reason
+
+
+#: Every guest-level exception a run can end with; both backends catch
+#: exactly this tuple and classify with :func:`classify_run_exception`.
+GUEST_EXCEPTIONS = (ExitProgram, DivisionByZeroError, RuntimeMiniCError, AbortRun)
+
+
+def classify_run_exception(result: ExecutionResult, exc: Exception,
+                           current_function: str) -> None:
+    """Map a guest exception onto the :class:`ExecutionResult` fields.
+
+    Shared by the interpreter and the VM so run classification (exit codes,
+    crash sites, budget cutoffs, replay aborts) cannot drift between
+    backends.  ``current_function`` is evaluated *after* stack unwinding, so
+    crashes without an explicit function fall back to ``<global>`` on both.
+    """
+
+    if isinstance(exc, ExitProgram):
+        result.exit_code = exc.code
+    elif isinstance(exc, ProgramCrash):
+        result.crashed = True
+        result.crash = CrashSite(exc.function or current_function,
+                                 exc.line, str(exc))
+        result.exit_code = 139  # SIGSEGV analogue
+    elif isinstance(exc, StepLimitExceeded):
+        result.step_limit_hit = True
+        result.exit_code = 124
+    elif isinstance(exc, (DivisionByZeroError, RuntimeMiniCError)):
+        result.crashed = True
+        result.crash = CrashSite(current_function, getattr(exc, "line", 0),
+                                 str(exc))
+        result.exit_code = 139
+    elif isinstance(exc, AbortRun):
+        result.aborted = True
+        result.abort_reason = exc.reason
+    else:  # pragma: no cover - guarded by GUEST_EXCEPTIONS
+        raise exc
+
+
+def build_main_args(param_count: int, argv: List[str],
+                    binder: InputBinder) -> List[Value]:
+    """Marshal argv into guest values for ``main`` (shared by both backends).
+
+    argv[0] is the program name (concrete); the bytes of argv[1..] are bound
+    through the :class:`InputBinder` so they can be symbolic.
+    """
+
+    args: List[Value] = []
+    if param_count >= 1:
+        args.append(concrete(len(argv)))
+    if param_count >= 2:
+        argv_array = ArrayObject(len(argv) + 1, label="argv")
+        for index, arg in enumerate(argv):
+            argv_array.set(index, Pointer(_make_arg_array(binder, index, arg), 0))
+        argv_array.set(len(argv), ZERO)
+        args.append(Pointer(argv_array, 0))
+    return args
+
+
+def _make_arg_array(binder: InputBinder, index: int, text: str) -> ArrayObject:
+    data = text.encode("utf-8")
+    array = ArrayObject(len(data) + 1, label=f"argv[{index}]")
+    if index == 0:
+        for position, byte in enumerate(data):
+            array.set(position, concrete(byte))
+    else:
+        channel = f"arg{index}"
+        for position, byte in enumerate(data):
+            name = f"{channel}_{position}"
+            array.set(position, binder.bind_byte(name, byte))
+    array.set(len(data), ZERO)
+    return array
 
 
 class Interpreter:
@@ -204,25 +279,8 @@ class Interpreter:
             self._init_globals()
             exit_value = self._call_main(list(argv))
             result.exit_code = as_int(exit_value).concrete
-        except ExitProgram as exc:
-            result.exit_code = exc.code
-        except ProgramCrash as exc:
-            result.crashed = True
-            result.crash = CrashSite(exc.function or self.current_function_name(),
-                                     exc.line, str(exc))
-            result.exit_code = 139  # SIGSEGV analogue
-        except (DivisionByZeroError, RuntimeMiniCError) as exc:
-            if isinstance(exc, StepLimitExceeded):
-                result.step_limit_hit = True
-                result.exit_code = 124
-            else:
-                result.crashed = True
-                result.crash = CrashSite(self.current_function_name(),
-                                         getattr(exc, "line", 0), str(exc))
-                result.exit_code = 139
-        except AbortRun as exc:
-            result.aborted = True
-            result.abort_reason = exc.reason
+        except GUEST_EXCEPTIONS as exc:
+            classify_run_exception(result, exc, self.current_function_name())
         result.steps = self.steps
         result.branch_executions = self.branch_counter
         result.symbolic_branch_executions = self.symbolic_branch_counter
@@ -237,32 +295,8 @@ class Interpreter:
 
     def _call_main(self, argv: List[str]) -> Value:
         main = self.program.main
-        args: List[Value] = []
-        if len(main.params) >= 1:
-            args.append(concrete(len(argv)))
-        if len(main.params) >= 2:
-            argv_array = ArrayObject(len(argv) + 1, label="argv")
-            for index, arg in enumerate(argv):
-                argv_array.set(index, Pointer(self._make_arg_array(index, arg), 0))
-            argv_array.set(len(argv), ZERO)
-            args.append(Pointer(argv_array, 0))
+        args = build_main_args(len(main.params), argv, self.binder)
         return self._call_function(main, args, main)
-
-    def _make_arg_array(self, index: int, text: str) -> ArrayObject:
-        """argv[0] is the program name (concrete); argv[1..] are input bytes."""
-
-        data = text.encode("utf-8")
-        array = ArrayObject(len(data) + 1, label=f"argv[{index}]")
-        if index == 0:
-            for position, byte in enumerate(data):
-                array.set(position, concrete(byte))
-        else:
-            channel = f"arg{index}"
-            for position, byte in enumerate(data):
-                name = f"{channel}_{position}"
-                array.set(position, self.binder.bind_byte(name, byte))
-        array.set(len(data), ZERO)
-        return array
 
     # -- functions -------------------------------------------------------------
 
@@ -523,31 +557,11 @@ class Interpreter:
         right = self._eval(node.right)
         # Pointer arithmetic and comparisons.
         if isinstance(left, Pointer) or isinstance(right, Pointer):
-            return self._eval_pointer_op(node, left, right)
+            return pointer_binary_op(node.op, left, right, node.line)
         try:
             return binary_int_op(node.op, left, right)
         except ZeroDivisionError:
             raise DivisionByZeroError("division by zero", node.line)
-
-    def _eval_pointer_op(self, node: BinaryOp, left: Value, right: Value) -> Value:
-        op = node.op
-        if op in ("==", "!=", "<", "<=", ">", ">="):
-            if isinstance(left, Pointer) and isinstance(right, Pointer) \
-                    and left.block is right.block:
-                return binary_int_op(op, concrete(left.offset), concrete(right.offset))
-            return compare_values(op, left, right)
-        if op == "+":
-            if isinstance(left, Pointer) and isinstance(right, ConcolicValue):
-                return left.moved(right.concrete)
-            if isinstance(right, Pointer) and isinstance(left, ConcolicValue):
-                return right.moved(left.concrete)
-        if op == "-":
-            if isinstance(left, Pointer) and isinstance(right, ConcolicValue):
-                return left.moved(-right.concrete)
-            if isinstance(left, Pointer) and isinstance(right, Pointer) \
-                    and left.block is right.block:
-                return concrete(left.offset - right.offset)
-        raise RuntimeMiniCError(f"unsupported pointer operation {op!r}", node.line)
 
     def _eval_call(self, node: Call) -> Value:
         args = [self._eval(arg) for arg in node.args]

@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
+from repro.lang.errors import RuntimeMiniCError
 from repro.symbolic.expr import SymBinOp, SymConst, SymExpr, SymUnOp
 from repro.symbolic.simplify import simplify
 
@@ -264,3 +265,31 @@ def compare_values(op: str, left: Value, right: Value) -> ConcolicValue:
     if isinstance(left, Pointer) or isinstance(right, Pointer):
         return binary_int_op(op, as_int(left), as_int(right))
     return binary_int_op(op, left, right)
+
+
+def pointer_binary_op(op: str, left: Value, right: Value, line: int = 0) -> Value:
+    """Binary operation with at least one pointer operand.
+
+    Shared by both execution backends so pointer semantics cannot drift:
+    same-block comparisons compare offsets, mixed comparisons fall back to
+    address-like integers, ``+``/``-`` move pointers, and pointer difference
+    works within one block.
+    """
+
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        if isinstance(left, Pointer) and isinstance(right, Pointer) \
+                and left.block is right.block:
+            return binary_int_op(op, concrete(left.offset), concrete(right.offset))
+        return compare_values(op, left, right)
+    if op == "+":
+        if isinstance(left, Pointer) and isinstance(right, ConcolicValue):
+            return left.moved(right.concrete)
+        if isinstance(right, Pointer) and isinstance(left, ConcolicValue):
+            return right.moved(left.concrete)
+    if op == "-":
+        if isinstance(left, Pointer) and isinstance(right, ConcolicValue):
+            return left.moved(-right.concrete)
+        if isinstance(left, Pointer) and isinstance(right, Pointer) \
+                and left.block is right.block:
+            return concrete(left.offset - right.offset)
+    raise RuntimeMiniCError(f"unsupported pointer operation {op!r}", line)

@@ -18,12 +18,12 @@ from typing import Dict, List, Optional
 from repro.environment import Environment
 from repro.instrument.logger import BitvectorLog, SyscallResultLog
 from repro.instrument.plan import InstrumentationPlan
+from repro.interp.backend import create_backend
 from repro.interp.inputs import ExecutionMode, InputBinder
 from repro.interp.interpreter import (
     CrashSite,
     ExecutionConfig,
     ExecutionResult,
-    Interpreter,
 )
 from repro.lang.program import Program
 from repro.osmodel.syscalls import SyscallKind
@@ -86,7 +86,8 @@ class ReplayEngine:
                  environment: Environment,
                  budget: Optional[ReplayBudget] = None,
                  search_order: str = "dfs",
-                 require_full_log_match: bool = True) -> None:
+                 require_full_log_match: bool = True,
+                 backend: str = "interp") -> None:
         self.program = program
         self.plan = plan
         self.bitvector = bitvector
@@ -95,6 +96,7 @@ class ReplayEngine:
         self.environment = environment
         self.budget = budget or ReplayBudget()
         self.search_order = search_order
+        self.backend = backend
         # When True (the default), a run only counts as a reproduction if it
         # crashes at the recorded site *and* its instrumented branch directions
         # match the recorded bitvector exactly.  This is what "finding the
@@ -179,10 +181,11 @@ class ReplayEngine:
 
         config = ExecutionConfig(mode=ExecutionMode.REPLAY,
                                  max_steps=self.budget.max_steps_per_run,
-                                 syscall_result_provider=provider)
-        interpreter = Interpreter(self.program, kernel=kernel, hooks=hooks,
+                                 syscall_result_provider=provider,
+                                 backend=self.backend)
+        executor = create_backend(self.program, kernel=kernel, hooks=hooks,
                                   binder=binder, config=config)
-        result = interpreter.run(self.environment.argv)
+        result = executor.run(self.environment.argv)
         return hooks, result, binder
 
     def _classify_run(self, index: int, hooks: ReplayRunHooks,

@@ -1,0 +1,84 @@
+"""Code objects produced by the bytecode compiler.
+
+A :class:`CodeObject` holds the instruction stream of one MiniC function (or
+of the module-level global initializers).  A :class:`CompiledProgram` bundles
+every code object of a :class:`~repro.lang.program.Program`; the compiler
+caches one per program instance so the replay engine's hundreds of re-runs pay
+for compilation exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.vm import opcodes
+from repro.vm.opcodes import OPCODE_NAMES
+
+Instruction = Tuple[int, object, int, int]
+"""``(opcode, arg, charge, line)`` — see :mod:`repro.vm.opcodes`."""
+
+
+@dataclass
+class CodeObject:
+    """The compiled body of one function."""
+
+    name: str
+    params: List[str] = field(default_factory=list)
+    instructions: List[Instruction] = field(default_factory=list)
+    source_line: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    # -- debugging ---------------------------------------------------------------
+
+    def dis(self) -> str:
+        """Human-readable disassembly (debugging and documentation aid)."""
+
+        lines = [f"{self.name}({', '.join(self.params)}):"]
+        for pc, (op, arg, charge, line) in enumerate(self.instructions):
+            operand = self._format_arg(op, arg)
+            note = f"  ; steps+={charge}" if charge else ""
+            src = f"  @L{line}" if line else ""
+            lines.append(f"  {pc:4d}  {OPCODE_NAMES.get(op, op):<14}{operand}{note}{src}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _format_arg(op: int, arg: object) -> str:
+        if arg is None:
+            return ""
+        if op == opcodes.BRANCH:
+            location, target = arg
+            return f"{location.short()} -> {target}"
+        if op == opcodes.CALL:
+            code, argc = arg
+            return f"{code.name}/{argc}"
+        if op == opcodes.CALL_BUILTIN:
+            fn, argc, _node = arg
+            return f"{getattr(fn, '__name__', fn)}/{argc}"
+        return repr(arg)
+
+
+@dataclass
+class CompiledProgram:
+    """Every code object of one program, ready for the VM."""
+
+    name: str
+    functions: Dict[str, CodeObject] = field(default_factory=dict)
+    globals_code: Optional[CodeObject] = None
+
+    @property
+    def main(self) -> CodeObject:
+        return self.functions["main"]
+
+    def instruction_count(self) -> int:
+        total = len(self.globals_code.instructions) if self.globals_code else 0
+        return total + sum(len(code.instructions) for code in self.functions.values())
+
+    def dis(self) -> str:
+        parts = []
+        if self.globals_code is not None and self.globals_code.instructions:
+            parts.append(self.globals_code.dis())
+        parts.extend(code.dis() for code in self.functions.values())
+        return "\n\n".join(parts)

@@ -1,0 +1,440 @@
+"""The MiniC bytecode compiler.
+
+Lowers the AST of every function in a :class:`~repro.lang.program.Program`
+into the stack-machine instruction stream described in
+:mod:`repro.vm.opcodes`.  The compiler is careful about three kinds of parity
+with the tree-walking interpreter (which the differential tests in
+``tests/test_vm_parity.py`` enforce):
+
+* **evaluation order** — operands compile in exactly the interpreter's
+  evaluation order, so branch events and syscalls fire in the same sequence;
+* **step accounting** — every AST node the interpreter would visit (one
+  ``_step()`` per statement execution and per expression evaluation) is
+  charged onto the first instruction executed on that node's behalf, pre-order
+  via a pending-charge counter.  Loop headers and other control-flow joins are
+  preceded by a ``NOP`` so per-entry charges are not re-paid on every
+  iteration;
+* **failure behaviour** — invalid programs fail at *run* time with the same
+  error type, message and source line as the interpreter (e.g. a call to an
+  undefined function only fails if executed), never at compile time.
+
+Compilation is cached per :class:`Program` instance (``compile_program``), so
+the replay engine's repeated runs compile once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.interp.builtins import lookup_builtin
+from repro.interp.values import ZERO, concrete
+from repro.lang.ast_nodes import (
+    ArrayIndex,
+    Assign,
+    AssignExpr,
+    BinaryOp,
+    Block,
+    Break,
+    Call,
+    CharLiteral,
+    Continue,
+    Expr,
+    ExprStmt,
+    ForStmt,
+    Identifier,
+    IfStmt,
+    IntLiteral,
+    ReturnStmt,
+    Stmt,
+    StringLiteral,
+    TernaryOp,
+    UnaryOp,
+    VarDecl,
+    WhileStmt,
+)
+from repro.lang.cfg import branch_location_for
+from repro.lang.errors import SemanticError
+from repro.lang.program import Program
+from repro.vm import opcodes as op
+from repro.vm.code import CodeObject, CompiledProgram
+
+_CACHE_ATTR = "_vm_compiled"
+
+
+def compile_program(program: Program) -> CompiledProgram:
+    """Compile *program*, caching the result on the program instance."""
+
+    cached = getattr(program, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    compiled = Compiler(program).compile()
+    setattr(program, _CACHE_ATTR, compiled)
+    return compiled
+
+
+class _Label:
+    """A forward-patchable jump target."""
+
+    __slots__ = ("pc",)
+
+    def __init__(self) -> None:
+        self.pc: Optional[int] = None
+
+
+class Compiler:
+    """Compiles every function of one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        # Stubs first so recursive and mutual calls can reference callees.
+        self.code_objects: Dict[str, CodeObject] = {
+            name: CodeObject(name=name, params=[p.name for p in fn.params],
+                             source_line=fn.line)
+            for name, fn in program.functions.items()
+        }
+
+    def compile(self) -> CompiledProgram:
+        globals_code = CodeObject(name="<globals>")
+        emitter = _FunctionEmitter(self, "<globals>", globals_code)
+        for decl in self.program.unit.globals:
+            # The interpreter runs global initializers directly (no statement
+            # step for the declaration itself), so only the initializer
+            # expressions carry charges here.
+            emitter.compile_vardecl(decl.decl, declare_global=True)
+        emitter.finish()
+        for name, fn in self.program.functions.items():
+            body_emitter = _FunctionEmitter(self, name, self.code_objects[name])
+            body_emitter.compile_stmt(fn.body)
+            body_emitter.finish()
+        return CompiledProgram(name=self.program.name,
+                               functions=self.code_objects,
+                               globals_code=globals_code)
+
+
+class _FunctionEmitter:
+    """Emits the instruction stream of a single function."""
+
+    def __init__(self, compiler: Compiler, function_name: str,
+                 code: CodeObject) -> None:
+        self.compiler = compiler
+        self.function_name = function_name
+        self.code = code
+        self.instructions = code.instructions
+        self.pending = 0
+        self.scope_depth = 0
+        # (break_label, continue_label, scope_depth) for each enclosing loop.
+        self.loops: List[tuple] = []
+        self._labels: List[_Label] = []
+        # Instruction indexes some already-bound label points at; peephole
+        # fusion must not swallow a jump target.
+        self._bound_positions: set = set()
+
+    # -- emission helpers -------------------------------------------------------
+
+    def emit(self, opcode: int, arg: object = None, line: int = 0) -> None:
+        charge = self.pending
+        self.pending = 0
+        self.instructions.append((opcode, arg, charge, line))
+
+    def new_label(self) -> _Label:
+        label = _Label()
+        self._labels.append(label)
+        return label
+
+    def bind(self, label: _Label) -> None:
+        # Flush any pending charge so it is not re-paid by every path that
+        # jumps here (loop headers, if/else joins).
+        if self.pending:
+            self.emit(op.NOP)
+        label.pc = len(self.instructions)
+        self._bound_positions.add(label.pc)
+
+    def finish(self) -> None:
+        if self.pending:
+            self.emit(op.NOP)
+        self.emit(op.CONST, ZERO)
+        self.emit(op.RET)
+        self._patch_labels()
+
+    def _patch_labels(self) -> None:
+        jump_ops = (op.JUMP, op.AND_JUMP, op.OR_JUMP, op.TERN_FALSE)
+        for pc, (opcode, arg, charge, line) in enumerate(self.instructions):
+            if opcode in jump_ops and isinstance(arg, _Label):
+                self.instructions[pc] = (opcode, arg.pc, charge, line)
+            elif opcode == op.BRANCH:
+                location, label = arg
+                self.instructions[pc] = (opcode, (location, label.pc), charge, line)
+
+    # -- statements ------------------------------------------------------------
+
+    def compile_stmt(self, stmt: Stmt) -> None:
+        self.pending += 1  # the interpreter's _exec_stmt step
+        if isinstance(stmt, Block):
+            self.emit(op.SCOPE_PUSH)
+            self.scope_depth += 1
+            for child in stmt.statements:
+                self.compile_stmt(child)
+            self.emit(op.SCOPE_POP, 1)
+            self.scope_depth -= 1
+        elif isinstance(stmt, VarDecl):
+            self.compile_vardecl(stmt)
+        elif isinstance(stmt, Assign):
+            self.compile_expr(stmt.value)
+            self._compile_store(stmt.target)
+        elif isinstance(stmt, ExprStmt):
+            self.compile_expr(stmt.expr)
+            self.emit(op.POP)
+        elif isinstance(stmt, IfStmt):
+            self._compile_if(stmt)
+        elif isinstance(stmt, WhileStmt):
+            self._compile_while(stmt)
+        elif isinstance(stmt, ForStmt):
+            self._compile_for(stmt)
+        elif isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                self.compile_expr(stmt.value)
+            else:
+                self.emit(op.CONST, ZERO)
+            self.emit(op.RET)
+        elif isinstance(stmt, Break):
+            self._compile_loop_exit(stmt, is_break=True)
+        elif isinstance(stmt, Continue):
+            self._compile_loop_exit(stmt, is_break=False)
+        else:  # pragma: no cover - parser produces no other statement nodes
+            raise SemanticError(
+                f"unsupported statement {type(stmt).__name__}")
+
+    def compile_vardecl(self, decl: VarDecl, declare_global: bool = False) -> None:
+        declare = op.DECL_GLOBAL if declare_global else op.DECL_LOCAL
+        for declarator in decl.declarators:
+            if declarator.is_array:
+                has_size = declarator.array_size is not None
+                if has_size:
+                    self.compile_expr(declarator.array_size)
+                self.emit(op.NEW_ARRAY, (declarator.name, has_size))
+            elif declarator.init is not None:
+                self.compile_expr(declarator.init)
+            else:
+                self.emit(op.CONST, ZERO)
+            self.emit(declare, declarator.name)
+
+    def _compile_if(self, stmt: IfStmt) -> None:
+        else_label = self.new_label()
+        self.compile_expr(stmt.cond)
+        location = branch_location_for(self.function_name, stmt)
+        self.emit(op.BRANCH, (location, else_label))
+        self.compile_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            end_label = self.new_label()
+            self.emit(op.JUMP, end_label)
+            self.bind(else_label)
+            self.compile_stmt(stmt.otherwise)
+            self.bind(end_label)
+        else:
+            self.bind(else_label)
+
+    def _compile_while(self, stmt: WhileStmt) -> None:
+        header = self.new_label()
+        after = self.new_label()
+        self.bind(header)  # flushes the while-statement charge before the loop
+        self.compile_expr(stmt.cond)
+        location = branch_location_for(self.function_name, stmt)
+        self.emit(op.BRANCH, (location, after))
+        self.loops.append((after, header, self.scope_depth))
+        self.compile_stmt(stmt.body)
+        self.loops.pop()
+        self.emit(op.JUMP, header)
+        self.bind(after)
+
+    def _compile_for(self, stmt: ForStmt) -> None:
+        self.emit(op.SCOPE_PUSH)  # absorbs the for-statement charge
+        self.scope_depth += 1
+        if stmt.init is not None:
+            self.compile_stmt(stmt.init)
+        header = self.new_label()
+        cont = self.new_label()
+        after = self.new_label()
+        self.bind(header)
+        if stmt.cond is not None:
+            self.compile_expr(stmt.cond)
+            location = branch_location_for(self.function_name, stmt)
+            self.emit(op.BRANCH, (location, after))
+        self.loops.append((after, cont, self.scope_depth))
+        self.compile_stmt(stmt.body)
+        self.loops.pop()
+        self.bind(cont)
+        if stmt.update is not None:
+            self.compile_stmt(stmt.update)
+        self.emit(op.JUMP, header)
+        self.bind(after)
+        self.emit(op.SCOPE_POP, 1)
+        self.scope_depth -= 1
+
+    def _compile_loop_exit(self, stmt: Stmt, is_break: bool) -> None:
+        if not self.loops:
+            # The interpreter's break/continue signal would escape the run
+            # loop entirely here; no workload does this, but keep it a guest
+            # error rather than a host crash.
+            self.emit(op.CALL_UNDEF, "break" if is_break else "continue",
+                      line=stmt.line)
+            return
+        break_label, continue_label, loop_depth = self.loops[-1]
+        pops = self.scope_depth - loop_depth
+        if pops:
+            self.emit(op.SCOPE_POP, pops)
+        self.emit(op.JUMP, break_label if is_break else continue_label)
+
+    # -- lvalues ----------------------------------------------------------------
+
+    def _compile_store(self, target: Expr, keep_value: bool = False) -> None:
+        """Compile a store into *target*; the value is on the stack.
+
+        With ``keep_value`` the stored value is left on the stack (assignment
+        in expression position).
+        """
+
+        if keep_value:
+            self.emit(op.DUP)
+        if isinstance(target, Identifier):
+            self.emit(op.STORE, target.name, line=target.line)
+        elif isinstance(target, ArrayIndex):
+            self.compile_expr(target.base)
+            self.compile_expr(target.index)
+            self.emit(op.STORE_INDEX, line=target.line)
+        elif isinstance(target, UnaryOp) and target.op == "*":
+            self.compile_expr(target.operand)
+            self.emit(op.STORE_DEREF, line=target.line)
+        else:
+            self.emit(op.INVALID_TARGET, line=getattr(target, "line", 0))
+
+    # -- expressions -------------------------------------------------------------
+
+    def compile_expr(self, node: Expr) -> None:
+        self.pending += 1  # the interpreter's _eval step
+        if isinstance(node, IntLiteral):
+            self.emit(op.CONST, concrete(node.value))
+        elif isinstance(node, CharLiteral):
+            self.emit(op.CONST, concrete(node.value))
+        elif isinstance(node, StringLiteral):
+            self.emit(op.STRING, (node.node_id, node.value))
+        elif isinstance(node, Identifier):
+            self.emit(op.LOAD, node.name, line=node.line)
+        elif isinstance(node, ArrayIndex):
+            self.compile_expr(node.base)
+            self.compile_expr(node.index)
+            self.emit(op.LOAD_INDEX, line=node.line)
+        elif isinstance(node, UnaryOp):
+            self._compile_unary(node)
+        elif isinstance(node, BinaryOp):
+            self._compile_binary(node)
+        elif isinstance(node, TernaryOp):
+            self._compile_ternary(node)
+        elif isinstance(node, AssignExpr):
+            self.compile_expr(node.value)
+            self._compile_store(node.target, keep_value=True)
+        elif isinstance(node, Call):
+            self._compile_call(node)
+        else:  # pragma: no cover - parser produces no other expression nodes
+            raise SemanticError(
+                f"unsupported expression {type(node).__name__}")
+
+    def _compile_unary(self, node: UnaryOp) -> None:
+        if node.op == "&":
+            operand = node.operand
+            if isinstance(operand, ArrayIndex):
+                self.compile_expr(operand.base)
+                self.compile_expr(operand.index)
+                self.emit(op.ADDR_INDEX, line=operand.line)
+            elif isinstance(operand, Identifier):
+                self.emit(op.ADDR_NAME, operand.name, line=node.line)
+            else:
+                self.emit(op.ADDR_INVALID, line=node.line)
+            return
+        self.compile_expr(node.operand)
+        if node.op == "*":
+            self.emit(op.LOAD_DEREF, line=node.line)
+        else:
+            self.emit(op.UNARY, node.op, line=node.line)
+
+    def _compile_binary(self, node: BinaryOp) -> None:
+        if node.op == "&&":
+            end = self.new_label()
+            self.compile_expr(node.left)
+            self.emit(op.AND_JUMP, end)
+            self.compile_expr(node.right)
+            self.emit(op.AND_END)
+            self.bind(end)
+            return
+        if node.op == "||":
+            end = self.new_label()
+            self.compile_expr(node.left)
+            self.emit(op.OR_JUMP, end)
+            self.compile_expr(node.right)
+            self.emit(op.OR_END)
+            self.bind(end)
+            return
+        self.compile_expr(node.left)
+        self.compile_expr(node.right)
+        if not self._fuse_binary(node.op, node.line):
+            self.emit(op.BINARY, node.op, line=node.line)
+
+    def _fuse_binary(self, operator: str, line: int) -> bool:
+        """Peephole: collapse ``LOAD;CONST;BINARY`` / ``LOAD;LOAD;BINARY``.
+
+        These two operand shapes (``i < limit``, ``n - 1``, ``i = i + 1``)
+        dominate hot loops; fusing them saves two dispatches per evaluation.
+        Declined when a bound label points between the candidate instructions
+        (a jump could then land mid-pattern) — the step charges of the fused
+        instructions are summed, so the accounting stays exact.
+        """
+
+        instructions = self.instructions
+        if len(instructions) < 2:
+            return False
+        end = len(instructions)
+        if end in self._bound_positions or (end - 1) in self._bound_positions:
+            return False
+        first_op, first_arg, first_charge, first_line = instructions[-2]
+        second_op, second_arg, second_charge, second_line = instructions[-1]
+        if first_op != op.LOAD or second_op not in (op.CONST, op.LOAD):
+            return False
+        charge = first_charge + second_charge + self.pending
+        self.pending = 0
+        del instructions[-2:]
+        if second_op == op.CONST:
+            instructions.append((op.BINOP_NC,
+                                 (operator, first_arg, second_arg, first_line),
+                                 charge, line))
+        else:
+            instructions.append((op.BINOP_NN,
+                                 (operator, first_arg, second_arg,
+                                  first_line, second_line),
+                                 charge, line))
+        return True
+
+    def _compile_ternary(self, node: TernaryOp) -> None:
+        else_label = self.new_label()
+        end_label = self.new_label()
+        self.compile_expr(node.cond)
+        self.emit(op.TERN_FALSE, else_label)
+        self.compile_expr(node.then)
+        self.emit(op.JUMP, end_label)
+        self.bind(else_label)
+        self.compile_expr(node.otherwise)
+        self.bind(end_label)
+
+    def _compile_call(self, node: Call) -> None:
+        for arg in node.args:
+            self.compile_expr(arg)
+        argc = len(node.args)
+        if node.name in self.compiler.code_objects:
+            callee = self.compiler.code_objects[node.name]
+            self.emit(op.CALL, (callee, argc), line=node.line)
+            return
+        builtin_fn = lookup_builtin(node.name)
+        if builtin_fn is not None:
+            # The AST node travels with the instruction because builtins
+            # report crash lines via ``getattr(node, "line", 0)``.
+            self.emit(op.CALL_BUILTIN, (builtin_fn, argc, node), line=node.line)
+            return
+        self.emit(op.CALL_UNDEF, node.name, line=node.line)

@@ -1,0 +1,78 @@
+"""Opcode definitions for the MiniC bytecode VM.
+
+The instruction stream is a flat list of 4-tuples::
+
+    (opcode, arg, charge, line)
+
+* ``opcode`` — one of the integer constants below;
+* ``arg`` — the operand (a name, a prebuilt :class:`ConcolicValue`, a jump
+  target, a ``(location, target)`` pair for branches, ...), or ``None``;
+* ``charge`` — how many tree-walker *steps* this instruction accounts for.
+  The compiler distributes AST-node visit counts over the instruction stream
+  (pre-order, so ancestors are charged before their first descendant executes)
+  which makes ``ExecutionResult.steps`` — and therefore the instrumentation
+  overhead model and the step-budget cutoff — agree exactly with the
+  tree-walking interpreter;
+* ``line`` — the source line used for crash sites and error messages.
+
+The machine is a straight stack machine: expression operands are pushed
+left-to-right in the interpreter's evaluation order, so hook events (branches,
+syscalls) fire in exactly the same order as in the tree-walker.
+"""
+
+from __future__ import annotations
+
+# Control / bookkeeping -------------------------------------------------------
+NOP = 0            # absorb a step charge at a control-flow join (loop headers)
+JUMP = 1           # arg: target pc
+POP = 2            # discard TOS
+DUP = 3            # duplicate TOS
+RET = 4            # return TOS from the current function
+
+# Literals and variables ------------------------------------------------------
+CONST = 5          # arg: prebuilt (immutable) ConcolicValue
+STRING = 6         # arg: (cache_key, text) — per-run cached NUL-terminated array
+LOAD = 7           # arg: name — frame scopes then globals
+STORE = 8          # arg: name — assign, implicitly declaring an absent local
+DECL_LOCAL = 9     # arg: name — declare in the innermost scope (pop value)
+DECL_GLOBAL = 10   # arg: name — declare a global (pop value)
+NEW_ARRAY = 11     # arg: (label, has_size) — optionally pop size, push pointer
+
+# Memory ----------------------------------------------------------------------
+LOAD_INDEX = 12    # pop index, base; push element
+STORE_INDEX = 13   # pop index, base, value; store element
+LOAD_DEREF = 14    # pop pointer; push pointed-to cell
+STORE_DEREF = 15   # pop pointer, value; store through pointer
+ADDR_NAME = 16     # arg: name — address of a variable (boxes scalars)
+ADDR_INDEX = 17    # pop index, base; push pointer to the element
+ADDR_INVALID = 18  # runtime error: operand cannot be addressed
+
+# Operators -------------------------------------------------------------------
+UNARY = 19         # arg: operator string
+BINARY = 20        # arg: operator string (non-short-circuit)
+BINOP_NC = 33      # arg: (op, name, const, load_line) — fused LOAD;CONST;BINARY
+BINOP_NN = 34      # arg: (op, name1, name2, l1, l2) — fused LOAD;LOAD;BINARY
+AND_JUMP = 21      # arg: target — short-circuit the && when TOS is falsy
+AND_END = 22       # combine the two operands of a fully evaluated &&
+OR_JUMP = 23       # arg: target — short-circuit the || when TOS is truthy
+OR_END = 24        # combine the two operands of a fully evaluated ||
+TERN_FALSE = 25    # arg: target — ternary selector (no branch event)
+
+# Control flow with events ----------------------------------------------------
+BRANCH = 26        # arg: (BranchLocation, else_target) — pop cond, emit event
+
+# Calls -----------------------------------------------------------------------
+CALL = 27          # arg: (CodeObject, argc) — call a user-defined function
+CALL_BUILTIN = 28  # arg: (builtin_fn, argc, call_node)
+CALL_UNDEF = 29    # arg: name — runtime "call to undefined function" error
+INVALID_TARGET = 30  # runtime "invalid assignment target" error
+
+# Scopes ----------------------------------------------------------------------
+SCOPE_PUSH = 31    # open a lexical scope in the current frame
+SCOPE_POP = 32     # arg: count — close that many scopes (break/continue exits)
+
+OPCODE_NAMES = {
+    value: name
+    for name, value in sorted(globals().items())
+    if isinstance(value, int) and name.isupper() and not name.startswith("_")
+}

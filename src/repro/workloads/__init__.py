@@ -14,6 +14,8 @@ paper defines one — the argument combination that triggers the crash bug.
 * :mod:`repro.workloads.httpgen` — the httperf-like request generator.
 """
 
+from typing import List, Tuple
+
 from repro.workloads import (  # noqa: F401
     coreutils,
     diffutil,
@@ -24,6 +26,7 @@ from repro.workloads import (  # noqa: F401
 )
 
 __all__ = [
+    "all_cases",
     "coreutils",
     "diffutil",
     "fibonacci",
@@ -31,3 +34,28 @@ __all__ = [
     "microbench",
     "userver",
 ]
+
+
+def all_cases() -> List[Tuple[str, str, "object"]]:
+    """Every workload paired with its scenarios: ``(name, source, environment)``.
+
+    One canonical enumeration used by the backend parity tests and the
+    backend benchmarks, covering each program in this package with at least
+    one benign and (where the workload defines one) one crashing scenario.
+    """
+
+    cases = [
+        ("fibonacci-a", fibonacci.SOURCE, fibonacci.scenario_a()),
+        ("fibonacci-b", fibonacci.SOURCE, fibonacci.scenario_b()),
+        ("fibonacci-neither", fibonacci.SOURCE, fibonacci.scenario_neither()),
+        ("microbench", microbench.SOURCE, microbench.small_scenario()),
+        ("diff-exp1", diffutil.SOURCE, diffutil.experiment_1()),
+        ("diff-exp2", diffutil.SOURCE, diffutil.experiment_2()),
+        ("diff-identical", diffutil.SOURCE, diffutil.identical_scenario()),
+        ("userver-exp1", userver.SOURCE, userver.experiment(1)),
+        ("userver-exp2", userver.SOURCE, userver.experiment(2)),
+    ]
+    for name, module in coreutils.ALL_PROGRAMS.items():
+        cases.append((f"{name}-bug", module.SOURCE, module.bug_scenario()))
+        cases.append((f"{name}-benign", module.SOURCE, module.benign_scenario()))
+    return cases
