@@ -1,0 +1,43 @@
+"""Replay-search shoot-out: the new search stack vs the PR 1 baseline.
+
+Times the complete guided search (the paper's "replay time") on uServer and
+diff crash scenarios under three configurations — the PR 1 stack (legacy
+full-rescan constraint search, unspecialized VM, serial), the plan-specialized
+serial stack, and the full parallel stack — asserting that all three explore
+byte-identical search trees before comparing wall-clock.
+
+Set ``BENCH_SMOKE=1`` to run the two-scenario smoke subset (CI).  The row set
+is dumped to ``BENCH_replay.json`` so the perf trajectory is tracked
+PR-over-PR.
+"""
+
+import os
+
+from repro.experiments import print_table, replay_search_exp
+from benchmarks.conftest import run_once
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+
+def test_replay_search_speedup(benchmark):
+    rows = run_once(benchmark, replay_search_exp.search_rows,
+                    smoke=SMOKE, repeats=1 if SMOKE else 2)
+    print_table(rows, "Replay search - plan-specialized parallel stack vs PR 1")
+    artifact = replay_search_exp.write_artifact(rows)
+    print(f"wrote {artifact}")
+
+    by_key = {(row["scenario"], row["configuration"]): row for row in rows}
+    scenarios = {row["scenario"] for row in rows}
+    for scenario in scenarios:
+        for config, _, _, _ in replay_search_exp.CONFIGURATIONS:
+            row = by_key[(scenario, config)]
+            # Every configuration reproduces the crash from an identical
+            # explored search tree; only the wall-clock may differ.
+            assert row["reproduced"], f"{scenario}/{config} did not reproduce"
+            assert row["identical_to_pr1"], (
+                f"{scenario}/{config} explored a different search tree")
+        # The headline claim: the full new stack beats the PR 1 serial VM by
+        # >= 1.5x on every uServer and diff scenario.
+        speedup = by_key[(scenario, "pr2-parallel")]["speedup_vs_pr1"]
+        assert speedup >= 1.5, (
+            f"{scenario}: pr2-parallel only {speedup}x over pr1-serial")

@@ -15,10 +15,15 @@ def test_table6_diff_replay(benchmark, diff_setup, diff_replay_budget):
                     replay_budget=diff_replay_budget)
     print_table(rows, "Table 6 - diff reproduction time")
     by_config = {row["configuration"]: row for row in rows}
-    # The fully-instrumented configurations reproduce both executions.
+    # The fully-instrumented configurations reproduce both executions with a
+    # path-equivalent input (an actual time in the cell).
     for config in ("static", "all branches", "dynamic+static"):
-        assert by_config[config]["exp1"] != "TIMEOUT"
-        assert by_config[config]["exp2"] != "TIMEOUT"
-    # Dynamic times out (the paper's infinity symbol) on at least one of them.
+        for exp in ("exp1", "exp2"):
+            assert by_config[config][exp] not in ("TIMEOUT", "NOT-EQUIV"), (
+                f"{config}/{exp}: {by_config[config][exp]}")
+    # Dynamic cannot truly reproduce (the paper's infinity symbol) on at
+    # least one of them: its search either exhausts the budget or proposes an
+    # input that is not path-equivalent to the recorded execution.
     dynamic = by_config["dynamic"]
-    assert dynamic["exp1"] == "TIMEOUT" or dynamic["exp2"] == "TIMEOUT"
+    assert (dynamic["exp1"] in ("TIMEOUT", "NOT-EQUIV")
+            or dynamic["exp2"] in ("TIMEOUT", "NOT-EQUIV"))

@@ -36,6 +36,13 @@ class PipelineConfig:
     # Execution engine used by every stage (record, replay, analysis):
     # "interp" (tree-walking interpreter) or "vm" (bytecode VM).
     backend: str = "interp"
+    # Worker threads for the replay engine's pending-list search.  Results
+    # commit in serial pop order, so any worker count explores the identical
+    # run set; >1 merely overlaps speculative evaluations.
+    replay_workers: int = 1
+    # Let the VM backend run plan-specialized bytecode (BRANCH_LOGGED /
+    # BRANCH_BARE instead of hook-dispatched BRANCH) during record and replay.
+    specialize_plans: bool = True
 
     def static_skip_set(self) -> Set[str]:
         return set(self.library_functions) if self.static_skips_library else set()

@@ -149,7 +149,8 @@ class Pipeline:
             binder=InputBinder(mode=ExecutionMode.RECORD),
             config=ExecutionConfig(mode=ExecutionMode.RECORD,
                                    max_steps=self.config.record_max_steps,
-                                   backend=self.config.backend),
+                                   backend=self.config.backend,
+                                   specialize_plans=self.config.specialize_plans),
         )
         return executor.run(environment.argv)
 
@@ -164,7 +165,8 @@ class Pipeline:
             binder=InputBinder(mode=ExecutionMode.RECORD),
             config=ExecutionConfig(mode=ExecutionMode.RECORD,
                                    max_steps=self.config.record_max_steps,
-                                   backend=self.config.backend),
+                                   backend=self.config.backend,
+                                   specialize_plans=self.config.specialize_plans),
         )
         execution = executor.run(environment.argv)
         baseline = self.baseline_steps(environment)
@@ -215,6 +217,8 @@ class Pipeline:
             budget=budget or self.config.replay_budget,
             search_order=search_order or self.config.replay_search_order,
             backend=self.config.backend,
+            workers=self.config.replay_workers,
+            specialize_plans=self.config.specialize_plans,
         )
         outcome = engine.reproduce()
         return ReplayReport(method=recording.plan.method, outcome=outcome,

@@ -44,10 +44,26 @@ class Environment:
         keeps its length, scripted requests keep their lengths, and the
         filesystem keeps its paths and file sizes.  The replay engine combines
         this scaffold with solver-chosen input bytes.
+
+        Arguments that name a path of the (structurally preserved) filesystem
+        are kept verbatim: the path string is already disclosed by the
+        filesystem scaffold, and blanking the argument would leave replay
+        unable to ``open`` the very files whose *contents* the privacy model
+        actually protects (the diff workloads hit exactly this).  The check
+        is string equality, so an argument that merely *collides* with a path
+        name without being used as a path (e.g. a search pattern equal to a
+        file's name) is also kept — a known over-disclosure limit of this
+        heuristic; the path string itself is public either way via the
+        filesystem snapshot, only the fact that an argv slot contains it is
+        revealed.
         """
 
-        blank_argv = [self.argv[0]] + ["A" * len(arg) for arg in self.argv[1:]]
         template = self.make_kernel()
+        known_paths = set(template.fs.snapshot())
+        blank_argv = [self.argv[0]] + [
+            arg if arg in known_paths else "A" * len(arg)
+            for arg in self.argv[1:]
+        ]
 
         def factory() -> Kernel:
             kernel = self.make_kernel()

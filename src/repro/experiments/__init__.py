@@ -18,6 +18,7 @@ from repro.experiments import (
     coreutils_exp,
     diff_exp,
     micro_exp,
+    replay_search_exp,
     userver_exp,
 )
 
@@ -28,5 +29,6 @@ __all__ = [
     "format_table",
     "micro_exp",
     "print_table",
+    "replay_search_exp",
     "userver_exp",
 ]

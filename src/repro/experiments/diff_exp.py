@@ -54,10 +54,56 @@ def figure5_rows(pipeline: Optional[Pipeline] = None,
     return rows
 
 
+def _path_equivalent(pipeline: Pipeline, recording, outcome) -> bool:
+    """Out-of-band check: does the reconstructed input replay the same path?
+
+    The engine itself can only compare against what the bug report contains;
+    a sparsely instrumented plan (diff's *dynamic* configuration) may leave
+    the log too weak to discriminate, so its "reproduction" can follow a
+    different path through the unlogged comparison loops.  Like the paper's
+    authors, the experiment verifies reproductions against the original run
+    (same step count and branch executions), which the developer in the
+    deployed scenario cannot do — a failed check is the paper's ∞ entry.
+    """
+
+    if not outcome.reproduced:
+        return False
+    from repro.interp.backend import create_backend
+    from repro.interp.inputs import ExecutionMode, InputBinder
+    from repro.interp.interpreter import ExecutionConfig
+
+    scaffold = recording.environment.scaffold()
+    provider = None
+    if recording.plan.log_syscalls:
+        cursor = recording.syscall_log.cursor()
+
+        def provider(kind, _cursor=cursor):
+            return _cursor.next_result(kind)
+
+    executor = create_backend(
+        pipeline.program,
+        kernel=scaffold.make_kernel(),
+        binder=InputBinder(mode=ExecutionMode.REPLAY,
+                           overrides=dict(outcome.found_input)),
+        config=ExecutionConfig(mode=ExecutionMode.REPLAY,
+                               backend=pipeline.config.backend,
+                               syscall_result_provider=provider),
+    )
+    result = executor.run(scaffold.argv)
+    original = recording.execution
+    return (result.steps == original.steps
+            and result.branch_executions == original.branch_executions)
+
+
 def table6_rows(pipeline: Optional[Pipeline] = None,
                 analysis: Optional[AnalysisResult] = None,
                 replay_budget: Optional[ReplayBudget] = None) -> List[Dict[str, object]]:
-    """Table 6: time needed to reproduce the two diff executions."""
+    """Table 6: time needed to reproduce the two diff executions.
+
+    ``TIMEOUT`` means the search exhausted its budget; ``NOT-EQUIV`` means it
+    proposed an input whose execution is not path-equivalent to the recorded
+    one (both correspond to the paper's ∞ entries for *dynamic*).
+    """
 
     if pipeline is None or analysis is None:
         pipeline, analysis = make_setup()
@@ -70,8 +116,12 @@ def table6_rows(pipeline: Optional[Pipeline] = None,
             plan = pipeline.make_plan(method, analysis)
             recording = pipeline.record(plan, env)
             report = pipeline.reproduce(recording, budget=replay_budget, scenario=label)
-            row[label] = (f"{report.replay_seconds:.1f}s"
-                          if report.reproduced else "TIMEOUT")
+            if not report.reproduced:
+                row[label] = "TIMEOUT"
+            elif not _path_equivalent(pipeline, recording, report.outcome):
+                row[label] = "NOT-EQUIV"
+            else:
+                row[label] = f"{report.replay_seconds:.1f}s"
         rows.append(row)
     return rows
 

@@ -1,0 +1,172 @@
+"""Replay-search benchmark: PR-over-PR wall-clock of the guided search.
+
+The tentpole claim of the plan-specialization PR is that the replay engine's
+hundreds of re-runs become *throughput-bound* instead of dispatch-bound.  This
+experiment times the complete guided search (record once, then search until
+the crash reproduces) on the uServer and diff workloads under three
+configurations:
+
+* ``pr1-serial``   — the PR 1 stack: unspecialized VM bytecode (every branch
+  dispatches a hook event), the legacy full-rescan constraint search, one
+  worker;
+* ``pr2-serial``   — plan-specialized bytecode + the incremental constraint
+  search, one worker;
+* ``pr2-parallel`` — the full new stack: specialization, incremental search
+  and a speculative worker pool.
+
+All three configurations must explore *byte-identical* search trees — same
+run records, same pending-list statistics, same solver-call count, same
+reproducing input — which each row asserts before it reports a time.  The
+``speedup`` column is the configuration's wall-clock advantage over
+``pr1-serial`` on the same scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Pipeline
+from repro.instrument.methods import InstrumentationMethod
+from repro.replay.budget import ReplayBudget
+from repro.replay.engine import ReplayEngine, ReplayOutcome
+from repro.symbolic import solver as solver_mod
+from repro.vm import compiler as vm_compiler
+from repro.workloads import diffutil, userver
+
+#: The three benchmarked configurations: (name, solver impl, specialize, workers).
+CONFIGURATIONS: Tuple[Tuple[str, str, bool, int], ...] = (
+    ("pr1-serial", "legacy", False, 1),
+    ("pr2-serial", "incremental", True, 1),
+    ("pr2-parallel", "incremental", True, 4),
+)
+
+BASELINE = "pr1-serial"
+
+
+def _diff_big() -> "object":
+    old = b"".join(b"line-%03d common text\n" % i for i in range(8))
+    new = b"".join(
+        (b"line-%03d common teXt\n" if i in (2, 5) else b"line-%03d common text\n") % i
+        for i in range(8))
+    return diffutil.custom_scenario(old, new, name="diff-big8")
+
+
+def scenarios(smoke: bool = False) -> List[Tuple[str, str, str, "object", frozenset]]:
+    """``(scenario, program name, source, environment, library functions)``."""
+
+    lib = frozenset(userver.LIBRARY_FUNCTIONS)
+    rows = [
+        ("userver-exp2", "userver", userver.SOURCE, userver.experiment(2), lib),
+        ("diff-exp1", "diff", diffutil.SOURCE, diffutil.experiment_1(), frozenset()),
+    ]
+    if not smoke:
+        rows += [
+            ("userver-load4", "userver", userver.SOURCE,
+             userver.saturation_workload(4), lib),
+            ("diff-exp2", "diff", diffutil.SOURCE, diffutil.experiment_2(), frozenset()),
+            ("diff-big8", "diff", diffutil.SOURCE, _diff_big(), frozenset()),
+        ]
+    return rows
+
+
+def _outcome_fingerprint(outcome: ReplayOutcome) -> tuple:
+    """Everything that identifies the explored search tree (never timings)."""
+
+    crash = None
+    if outcome.crash_site is not None:
+        crash = (outcome.crash_site.function, outcome.crash_site.line)
+    return (
+        outcome.reproduced,
+        outcome.runs,
+        outcome.solver_calls,
+        tuple((r.outcome, r.consumed_bits, r.constraints, r.deviation)
+              for r in outcome.run_records),
+        tuple(sorted(outcome.pending_stats.items())),
+        tuple(sorted(outcome.found_input.items())),
+        crash,
+    )
+
+
+def _timed_search(pipeline: Pipeline, recording, solver_impl: str,
+                  specialize: bool, workers: int,
+                  budget: ReplayBudget) -> Tuple[ReplayOutcome, float]:
+    engine = ReplayEngine(
+        program=pipeline.program,
+        plan=recording.plan,
+        bitvector=recording.bitvector,
+        syscall_log=recording.syscall_log if recording.plan.log_syscalls else None,
+        crash_site=recording.crash_site,
+        environment=recording.environment.scaffold(),
+        budget=budget,
+        backend="vm",
+        workers=workers,
+        specialize_plans=specialize,
+    )
+    previous = solver_mod.set_search_impl(solver_impl)
+    solver_mod._UNARY_FILTER_CACHE.clear()  # every configuration starts cold
+    try:
+        start = time.perf_counter()
+        outcome = engine.reproduce()
+        wall = time.perf_counter() - start
+    finally:
+        solver_mod.set_search_impl(previous)
+    return outcome, wall
+
+
+def search_rows(smoke: bool = False, repeats: int = 2,
+                budget: Optional[ReplayBudget] = None) -> List[Dict[str, object]]:
+    """One row per (scenario, configuration); best-of-``repeats`` walls."""
+
+    budget = budget or ReplayBudget(max_runs=3000, max_seconds=120)
+    rows: List[Dict[str, object]] = []
+    for scenario, name, source, environment, lib in scenarios(smoke):
+        pipeline = Pipeline.from_source(
+            source, name=name, config=PipelineConfig(library_functions=set(lib)))
+        plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES,
+                                  environment=environment)
+        recording = pipeline.record(plan, environment)
+        # Pay both bytecode compilations up front: the searches being compared
+        # should time re-runs, not one-off compiles.
+        vm_compiler.compile_program(pipeline.program)
+        vm_compiler.compile_program(pipeline.program, plan)
+
+        fingerprints = {}
+        walls: Dict[str, float] = {}
+        for config, solver_impl, specialize, workers in CONFIGURATIONS:
+            best_wall = None
+            outcome = None
+            for _ in range(repeats):
+                outcome, wall = _timed_search(pipeline, recording, solver_impl,
+                                              specialize, workers, budget)
+                if best_wall is None or wall < best_wall:
+                    best_wall = wall
+            fingerprints[config] = _outcome_fingerprint(outcome)
+            walls[config] = best_wall
+            rows.append({
+                "scenario": scenario,
+                "configuration": config,
+                "reproduced": outcome.reproduced,
+                "runs": outcome.runs,
+                "bits": len(recording.bitvector),
+                "wall_seconds": round(best_wall, 4),
+                "speedup_vs_pr1": round(walls[BASELINE] / best_wall, 2),
+                "identical_to_pr1": fingerprints[config] == fingerprints[BASELINE],
+                "speculation_hits": outcome.speculation_hits,
+            })
+    return rows
+
+
+def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json") -> str:
+    """Dump the rows as the PR-over-PR tracking artifact."""
+
+    payload = {
+        "benchmark": "replay_search",
+        "configurations": [config for config, _, _, _ in CONFIGURATIONS],
+        "rows": rows,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path

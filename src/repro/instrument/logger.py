@@ -118,7 +118,19 @@ class SyscallLogCursor:
 
 
 class BranchLogger(ExecutionHooks):
-    """Interpreter hook implementing the user-site instrumentation runtime."""
+    """Interpreter hook implementing the user-site instrumentation runtime.
+
+    With the tree-walking interpreter (or the VM on unspecialized code) the
+    logger filters every :meth:`on_branch` event against the plan.  The
+    bytecode VM instead recognises ``vm_inline = "record"`` and runs
+    plan-specialized code that appends bits straight onto
+    ``self.bitvector.bits`` and counts per-slot executions inline, calling
+    :meth:`vm_merge` once at the end of the run — same observable state, no
+    per-branch hook dispatch.
+    """
+
+    #: Opt-in marker for the VM's inline record fast path.
+    vm_inline = "record"
 
     def __init__(self, plan: InstrumentationPlan) -> None:
         self.plan = plan
@@ -140,6 +152,35 @@ class BranchLogger(ExecutionHooks):
     def on_syscall(self, event: SyscallEvent) -> None:
         if self.plan.log_syscalls:
             self.syscall_log.record(event)
+
+    # -- VM inline-record integration ---------------------------------------------------
+
+    def vm_can_inline(self) -> bool:
+        """The inline fast path requires a fresh logger (one logger per run)."""
+
+        return (not self.bitvector.bits and not self.total_branch_executions
+                and not self.instrumented_executions
+                and not self.per_location_executions)
+
+    def vm_merge(self, total_branch_executions: int, locations: Sequence,
+                 slot_counts: Sequence[int]) -> None:
+        """Fold the VM's inline per-run state into the logger's statistics.
+
+        The VM appended bits directly onto ``self.bitvector.bits`` (bypassing
+        :meth:`BitvectorLog.append` and its flush bookkeeping) and counted
+        executions per ``BRANCH_LOGGED`` slot; this recomputes the flush count
+        and rebuilds the per-location tallies exactly as per-event dispatch
+        would have.
+        """
+
+        self.total_branch_executions += total_branch_executions
+        self.bitvector.flushes = len(self.bitvector.bits) // (LOG_BUFFER_BYTES * 8)
+        per_location = self.per_location_executions
+        for slot, count in enumerate(slot_counts):
+            if count:
+                self.instrumented_executions += count
+                location = locations[slot]
+                per_location[location] = per_location.get(location, 0) + count
 
     # -- storage accounting ------------------------------------------------------------
 

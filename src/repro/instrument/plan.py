@@ -39,6 +39,23 @@ class InstrumentationPlan:
     def is_instrumented(self, location: BranchLocation) -> bool:
         return location in self.instrumented
 
+    def fingerprint(self) -> tuple:
+        """Stable identity of the *instrumented branch set* of this plan.
+
+        Two plans with the same instrumented locations produce the same
+        fingerprint regardless of method or syscall-logging options, because
+        only the branch set affects plan-specialized code generation.  Used
+        as the compiled-code cache key (:mod:`repro.vm.compiler`) and to
+        detect a stale specialization before reusing compiled code.
+        """
+
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = tuple(sorted((loc.function, loc.node_id)
+                                  for loc in self.instrumented))
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
     def instrumented_count(self) -> int:
         return len(self.instrumented)
 

@@ -68,16 +68,24 @@ class InputBinder:
 
     # -- binding -------------------------------------------------------------------
 
-    def bind_byte(self, name: str, env_value: Optional[int]) -> ConcolicValue:
+    def bind_byte(self, name: str, env_value: Optional[int],
+                  structural: bool = False) -> ConcolicValue:
         """Bind one input byte.
 
         ``env_value`` is what the real environment would provide (or ``None``
         when the environment has nothing, e.g. reading past the end of the
         scripted request during replay with a solver-chosen longer length).
+
+        ``structural`` marks bytes whose environment value comes from the
+        replay *scaffold* rather than from private user data — argv bytes,
+        whose blanking is decided by :meth:`~repro.environment.Environment.
+        scaffold` (file-path arguments stay verbatim there).  Structural
+        bytes consult ``env_value`` even in ``REPLAY`` mode; everything else
+        (stdin, file and network contents) stays hidden.
         """
 
         return self._bind(name, env_value, lo=0, hi=255,
-                          default=_REPLAY_DEFAULT_BYTE)
+                          default=_REPLAY_DEFAULT_BYTE, structural=structural)
 
     def bind_int(self, name: str, env_value: Optional[int], lo: int, hi: int,
                  default: Optional[int] = None) -> ConcolicValue:
@@ -88,13 +96,14 @@ class InputBinder:
         return self._bind(name, env_value, lo=lo, hi=hi, default=default)
 
     def _bind(self, name: str, env_value: Optional[int], lo: int, hi: int,
-              default: int) -> ConcolicValue:
+              default: int, structural: bool = False) -> ConcolicValue:
         if not self.mode.symbolic_inputs:
             value = env_value if env_value is not None else default
             return ConcolicValue(value)
         if name in self.overrides:
             value = self.overrides[name]
-        elif self.mode.hides_environment_data or env_value is None:
+        elif env_value is None or (self.mode.hides_environment_data
+                                   and not structural):
             value = default
         else:
             value = env_value

@@ -116,6 +116,10 @@ class ExecutionConfig:
     # Which execution engine runs the program: the tree-walking interpreter
     # ("interp") or the bytecode VM ("vm").  See repro.interp.backend.
     backend: str = "interp"
+    # Allow the VM to run plan-specialized bytecode when the installed hooks
+    # support it (BranchLogger / ReplayRunHooks).  Ignored by the interpreter;
+    # disable to force the legacy one-BRANCH-opcode dispatch for comparison.
+    specialize_plans: bool = True
 
 
 @dataclass
@@ -215,7 +219,10 @@ def _make_arg_array(binder: InputBinder, index: int, text: str) -> ArrayObject:
         channel = f"arg{index}"
         for position, byte in enumerate(data):
             name = f"{channel}_{position}"
-            array.set(position, binder.bind_byte(name, byte))
+            # argv bytes are structural: during replay their concrete values
+            # come from the environment scaffold (which decides what is
+            # blanked), not from the hidden user data.
+            array.set(position, binder.bind_byte(name, byte, structural=True))
     array.set(len(data), ZERO)
     return array
 

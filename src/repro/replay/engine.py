@@ -7,13 +7,27 @@ recorded bitvector and either let it reach the crash or abort it and schedule
 alternative constraint sets on the pending list.  Reproduction succeeds when a
 run crashes at the recorded crash site; the input assignment of that run is
 the "set of inputs that activate the bug" the paper promises the developer.
+
+**Parallel search.**  With ``workers > 1`` the engine evaluates pending items
+on a pool of threads, each thread running its own backend instance (kernel,
+binder and hooks are per-run; compiled bytecode is immutable and shared).
+Evaluating an item — solve its constraint set, run the program, collect the
+run's alternatives — is a pure function of the item, so workers *speculate*
+on the items at the head of the pending list while the engine commits results
+strictly in the serial pop order.  The committed sequence of runs, the pushed
+alternatives, the solver-call and run counters, and the explored pending set
+are therefore byte-identical to the serial engine's; speculation only changes
+wall-clock time.  (Under CPython's GIL almost every speculated item is later
+committed from cache, so the wasted work is bounded by the items still
+pending when the search stops.)
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.environment import Environment
 from repro.instrument.logger import BitvectorLog, SyscallResultLog
@@ -58,6 +72,10 @@ class ReplayOutcome:
     solver_calls: int = 0
     pending_stats: Dict[str, int] = field(default_factory=dict)
     run_records: List[ReplayRunRecord] = field(default_factory=list)
+    # Parallel-search telemetry (never part of the explored-set identity).
+    workers: int = 1
+    speculated_items: int = 0
+    speculation_hits: int = 0
     symbolic_logged_locations: int = 0
     symbolic_logged_executions: int = 0
     symbolic_not_logged_locations: int = 0
@@ -76,6 +94,16 @@ class ReplayOutcome:
                 f"({self.symbolic_not_logged_locations} unlogged symbolic locations)")
 
 
+@dataclass
+class _ItemEvaluation:
+    """The outcome of evaluating one pending item (a pure function of it)."""
+
+    solver_calls: int
+    hooks: Optional[ReplayRunHooks]
+    result: Optional[object]
+    binder: Optional[InputBinder]
+
+
 class ReplayEngine:
     """Searches for an input reproducing a recorded crash."""
 
@@ -87,7 +115,9 @@ class ReplayEngine:
                  budget: Optional[ReplayBudget] = None,
                  search_order: str = "dfs",
                  require_full_log_match: bool = True,
-                 backend: str = "interp") -> None:
+                 backend: str = "interp",
+                 workers: int = 1,
+                 specialize_plans: bool = True) -> None:
         self.program = program
         self.plan = plan
         self.bitvector = bitvector
@@ -97,6 +127,8 @@ class ReplayEngine:
         self.budget = budget or ReplayBudget()
         self.search_order = search_order
         self.backend = backend
+        self.workers = max(1, int(workers))
+        self.specialize_plans = specialize_plans
         # When True (the default), a run only counts as a reproduction if it
         # crashes at the recorded site *and* its instrumented branch directions
         # match the recorded bitvector exactly.  This is what "finding the
@@ -111,62 +143,154 @@ class ReplayEngine:
         """Run the guided search until the bug is reproduced or the budget ends."""
 
         start = time.monotonic()
-        outcome = ReplayOutcome(reproduced=False)
+        outcome = ReplayOutcome(reproduced=False, workers=self.workers)
         pending = PendingList(order=self.search_order, max_size=self.budget.max_pending)
         pending.push(PendingItem(ConstraintSet(), hint={}, reason="initial run"))
-
-        while True:
-            if outcome.runs >= self.budget.max_runs:
-                outcome.timed_out = True
-                break
-            if time.monotonic() - start > self.budget.max_seconds:
-                outcome.timed_out = True
-                break
-            item = pending.pop()
-            if item is None:
-                # Nothing left to explore: the search failed outright.
-                break
-
-            overrides = self._solve_item(item, outcome)
-            if overrides is None:
-                continue
-
-            hooks, result, binder = self._run_once(overrides)
-            record = self._classify_run(outcome.runs, hooks, result)
-            outcome.runs += 1
-            outcome.run_records.append(record)
-            self._update_not_logged(outcome, hooks)
-
-            if record.outcome == "reproduced":
-                outcome.reproduced = True
-                outcome.crash_site = result.crash
-                outcome.found_input = binder.assignment()
-                break
-
-            # Merge the alternatives this run discovered.
-            for constraints, reason in hooks.alternatives:
-                pending.push(PendingItem(constraints=constraints,
-                                         hint=binder.assignment(),
-                                         depth=len(constraints),
-                                         origin_run=outcome.runs,
-                                         reason=reason))
-
+        if self.workers > 1:
+            self._search_parallel(outcome, pending, start)
+        else:
+            self._search_serial(outcome, pending, start)
         outcome.wall_seconds = time.monotonic() - start
         outcome.pending_stats = pending.stats()
         return outcome
 
+    # -- the two search drivers ---------------------------------------------------------------
+
+    def _search_serial(self, outcome: ReplayOutcome, pending: PendingList,
+                       start: float) -> None:
+        while not self._budget_exhausted(outcome, start):
+            item = pending.pop()
+            if item is None:
+                # Nothing left to explore: the search failed outright.
+                break
+            if self._commit(outcome, pending, self._evaluate_item(item)):
+                break
+
+    def _search_parallel(self, outcome: ReplayOutcome, pending: PendingList,
+                         start: float) -> None:
+        """Speculative search: workers race ahead, commits follow serial order.
+
+        Every pop either finds the item's evaluation already inflight (a
+        speculation hit) or submits it on the spot; either way the result is
+        committed before the next pop, so the pending list — and with it the
+        pop order — evolves exactly as in :meth:`_search_serial`.
+        """
+
+        inflight: Dict[int, Tuple[PendingItem, object]] = {}
+        pool = ThreadPoolExecutor(max_workers=self.workers,
+                                  thread_name_prefix="replay-worker")
+        try:
+            while not self._budget_exhausted(outcome, start):
+                item = pending.pop()
+                if item is None:
+                    break
+                entry = inflight.pop(id(item), None)
+                if entry is not None:
+                    outcome.speculation_hits += 1
+                    future = entry[1]
+                else:
+                    future = pool.submit(self._evaluate_item, item)
+                # Keep idle workers busy on the likely-next items while the
+                # committing thread waits for this one.
+                self._speculate(pool, pending, inflight, outcome)
+                if self._commit(outcome, pending, future.result()):
+                    break
+        finally:
+            # Drop anything still queued, but wait for the runs already
+            # executing: reproduce() must not leak worker threads that keep
+            # burning CPU (and reading engine/solver state) after it returns.
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def _speculate(self, pool: ThreadPoolExecutor, pending: PendingList,
+                   inflight: Dict[int, Tuple[PendingItem, object]],
+                   outcome: ReplayOutcome) -> None:
+        # Keep a small backlog beyond the worker count so a fast worker always
+        # finds its next item queued.  The cap counts only *unfinished*
+        # evaluations: under DFS, freshly pushed alternatives overtake items
+        # speculated earlier, and those completed-but-not-yet-popped entries
+        # (they stay in `inflight` as a results cache until their item is
+        # popped) must not starve speculation on the new head of the list.
+        # id() keys are safe because the map holds a reference to every
+        # speculated item.
+        cap = self.workers * 2
+        active = sum(1 for _, future in inflight.values() if not future.done())
+        if active < cap:
+            for candidate in pending.peek(cap):
+                key = id(candidate)
+                if key in inflight:
+                    continue
+                inflight[key] = (candidate,
+                                 pool.submit(self._evaluate_item, candidate))
+                outcome.speculated_items += 1
+                active += 1
+                if active >= cap:
+                    break
+        # Bound the completed-results cache: under DFS fresh alternatives
+        # overtake earlier speculations, whose finished evaluations (full run
+        # state each) would otherwise stay pinned until their item is popped
+        # — possibly for the whole search.  Evicting a done entry is safe:
+        # _evaluate_item is pure, so a later pop just recomputes it.
+        retain = max(32, self.workers * 8)
+        if len(inflight) > retain:
+            keep = {id(item) for item in pending.peek(retain)}
+            for key in [k for k, (_, future) in inflight.items()
+                        if future.done() and k not in keep]:
+                if len(inflight) <= retain:
+                    break
+                del inflight[key]
+
+    def _budget_exhausted(self, outcome: ReplayOutcome, start: float) -> bool:
+        if (outcome.runs >= self.budget.max_runs
+                or time.monotonic() - start > self.budget.max_seconds):
+            outcome.timed_out = True
+            return True
+        return False
+
     # -- internals --------------------------------------------------------------------------
 
-    def _solve_item(self, item: PendingItem, outcome: ReplayOutcome) -> Optional[Dict[str, int]]:
+    def _evaluate_item(self, item: PendingItem) -> _ItemEvaluation:
+        """Solve and run one pending item — pure, safe to run on any thread."""
+
         if len(item.constraints) == 0:
-            return dict(item.hint)
-        solution = solve(item.constraints, hint=item.hint)
-        outcome.solver_calls += 1
-        if not solution.satisfiable or solution.assignment is None:
-            return None
-        merged = dict(item.hint)
-        merged.update(solution.assignment)
-        return merged
+            overrides = dict(item.hint)
+            solver_calls = 0
+        else:
+            solution = solve(item.constraints, hint=item.hint)
+            solver_calls = 1
+            if not solution.satisfiable or solution.assignment is None:
+                return _ItemEvaluation(solver_calls, None, None, None)
+            overrides = dict(item.hint)
+            overrides.update(solution.assignment)
+        hooks, result, binder = self._run_once(overrides)
+        return _ItemEvaluation(solver_calls, hooks, result, binder)
+
+    def _commit(self, outcome: ReplayOutcome, pending: PendingList,
+                evaluation: _ItemEvaluation) -> bool:
+        """Fold one evaluation into the outcome; True ends the search."""
+
+        outcome.solver_calls += evaluation.solver_calls
+        if evaluation.hooks is None:
+            return False  # unsatisfiable constraint set: no run happened
+        hooks, result, binder = evaluation.hooks, evaluation.result, evaluation.binder
+        record = self._classify_run(outcome.runs, hooks, result)
+        outcome.runs += 1
+        outcome.run_records.append(record)
+        self._update_not_logged(outcome, hooks)
+
+        if record.outcome == "reproduced":
+            outcome.reproduced = True
+            outcome.crash_site = result.crash
+            outcome.found_input = binder.assignment()
+            return True
+
+        # Merge the alternatives this run discovered.
+        for constraints, reason in hooks.alternatives:
+            pending.push(PendingItem(constraints=constraints,
+                                     hint=binder.assignment(),
+                                     depth=len(constraints),
+                                     origin_run=outcome.runs,
+                                     reason=reason))
+        return False
 
     def _run_once(self, overrides: Dict[str, int]):
         kernel = self.environment.make_kernel()
@@ -175,6 +299,9 @@ class ReplayEngine:
         provider = None
         if self.plan.log_syscalls and self.syscall_log is not None:
             cursor = self.syscall_log.cursor()
+            # Kept for _classify_run: a full-log-match reproduction must also
+            # have consumed the recorded syscall results completely.
+            hooks.syscall_cursor = cursor
 
             def provider(kind: SyscallKind, _cursor=cursor) -> Optional[int]:
                 return _cursor.next_result(kind)
@@ -182,7 +309,8 @@ class ReplayEngine:
         config = ExecutionConfig(mode=ExecutionMode.REPLAY,
                                  max_steps=self.budget.max_steps_per_run,
                                  syscall_result_provider=provider,
-                                 backend=self.backend)
+                                 backend=self.backend,
+                                 specialize_plans=self.specialize_plans)
         executor = create_backend(self.program, kernel=kernel, hooks=hooks,
                                   binder=binder, config=config)
         result = executor.run(self.environment.argv)
@@ -197,7 +325,8 @@ class ReplayEngine:
             outcome = "step-limit"
         elif result.crashed and self._matches_crash(result):
             full_match = (hooks.deviation is None
-                          and hooks.consumed_bits() == len(self.bitvector))
+                          and hooks.consumed_bits() == len(self.bitvector)
+                          and self._syscall_log_consumed(hooks))
             if full_match or not self.require_full_log_match:
                 outcome = "reproduced"
             else:
@@ -210,6 +339,22 @@ class ReplayEngine:
                                consumed_bits=hooks.consumed_bits(),
                                constraints=len(hooks.run_constraints),
                                deviation=deviation)
+
+    def _syscall_log_consumed(self, hooks: ReplayRunHooks) -> bool:
+        """Did the run replay every recorded syscall result?
+
+        A sparsely instrumented plan can leave the bitvector too short to
+        discriminate executions (the diff ``dynamic`` configuration logs
+        almost nothing), but a run that took the recorded path performs the
+        recorded I/O: leftover logged results mean the execution diverged on
+        branches the plan did not log, so it is not a reproduction.
+        """
+
+        cursor = getattr(hooks, "syscall_cursor", None)
+        if cursor is None or self.syscall_log is None:
+            return True
+        return all(cursor.remaining(kind) == 0
+                   for kind in self.syscall_log.results)
 
     def _matches_crash(self, result: ExecutionResult) -> bool:
         if result.crash is None:

@@ -37,12 +37,27 @@ class RunDeviation:
 
 
 class ReplayRunHooks(ExecutionHooks):
-    """Observes one replay run and applies the four-case policy."""
+    """Observes one replay run and applies the four-case policy.
+
+    With the tree-walking interpreter (or the VM on unspecialized code) every
+    branch arrives through :meth:`on_branch`.  The bytecode VM instead
+    recognises ``vm_inline = "replay"`` and runs plan-specialized code that
+    walks ``cursor_cell`` and compares recorded bits inline for the dominant
+    case 3 (concrete, instrumented); only the rare cases — symbolic
+    conditions and deviations — call back through the ``vm_*`` entry points
+    below, which share the exact code paths of the hook dispatch so the two
+    modes cannot drift.
+    """
+
+    #: Opt-in marker for the VM's inline replay fast path.
+    vm_inline = "replay"
 
     def __init__(self, plan: InstrumentationPlan, bitvector: BitvectorLog) -> None:
         self.plan = plan
         self.bitvector = bitvector
-        self.cursor = 0
+        # The bitvector read cursor, in a one-element list so the VM's inline
+        # fast path and these hooks share one mutable cell.
+        self.cursor_cell = [0]
         self.run_constraints = ConstraintSet()
         # Alternatives discovered during this run, to be merged into the
         # engine's pending list: (constraint set, reason).
@@ -51,6 +66,14 @@ class ReplayRunHooks(ExecutionHooks):
         self.branch_executions = 0
         self.symbolic_not_logged: Dict[BranchLocation, int] = {}
         self.symbolic_logged: Dict[BranchLocation, int] = {}
+
+    @property
+    def cursor(self) -> int:
+        return self.cursor_cell[0]
+
+    @cursor.setter
+    def cursor(self, value: int) -> None:
+        self.cursor_cell[0] = value
 
     # -- helpers -------------------------------------------------------------------
 
@@ -115,6 +138,47 @@ class ReplayRunHooks(ExecutionHooks):
         # uninstrumented symbolic branch sent the run down the wrong path.
         self.deviation = RunDeviation("concrete-mismatch", event.location, self.cursor - 1)
         raise AbortRun(f"concrete branch deviated at {event.location.short()}")
+
+    # -- VM inline-replay integration ---------------------------------------------------
+    #
+    # Called by the bytecode VM from plan-specialized code for the cases its
+    # inline cursor walk cannot decide alone.  Instrumented-ness is already
+    # baked into the opcode, so no plan lookup happens here.
+
+    def vm_bare_symbolic(self, event: BranchEvent) -> None:
+        """Case 1 slow path: symbolic condition at an uninstrumented branch."""
+
+        self.symbolic_not_logged[event.location] = (
+            self.symbolic_not_logged.get(event.location, 0) + 1)
+        self._symbolic_uninstrumented(event)
+
+    def vm_logged_symbolic(self, event: BranchEvent) -> None:
+        """Case 2 slow path: symbolic condition at an instrumented branch."""
+
+        self.symbolic_logged[event.location] = (
+            self.symbolic_logged.get(event.location, 0) + 1)
+        self._symbolic_instrumented(event)
+
+    def vm_concrete_mismatch(self, location: BranchLocation, bit_index: int) -> None:
+        """Case 3 deviation: the VM's inline compare saw the wrong direction.
+
+        The VM has already advanced the cursor past the mismatching bit,
+        mirroring ``_next_bit`` + ``_concrete_instrumented``.
+        """
+
+        self.deviation = RunDeviation("concrete-mismatch", location, bit_index)
+        raise AbortRun(f"concrete branch deviated at {location.short()}")
+
+    def vm_log_exhausted(self, location: BranchLocation) -> None:
+        """The recorded bitvector ran out at an instrumented branch."""
+
+        self.deviation = RunDeviation("log-exhausted", location, self.cursor)
+        raise AbortRun("recorded branch log exhausted")
+
+    def vm_finish(self, branch_executions: int) -> None:
+        """End-of-run merge of the VM's inline per-run counters."""
+
+        self.branch_executions += branch_executions
 
     # -- statistics --------------------------------------------------------------------------
 

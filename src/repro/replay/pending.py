@@ -67,6 +67,21 @@ class PendingList:
             return self._items.pop()
         return self._items.pop(0)
 
+    def peek(self, count: int = 1) -> List[PendingItem]:
+        """The next *count* items in pop order, without removing them.
+
+        The parallel replay engine speculates on these: barring earlier
+        termination, they are exactly the items the serial engine would pop
+        next (newly pushed alternatives may jump the queue under DFS, but a
+        peeked item's evaluation stays valid until it is actually popped).
+        """
+
+        if count <= 0:
+            return []
+        if self.order == "dfs":
+            return list(reversed(self._items[-count:]))
+        return list(self._items[:count])
+
     def clear(self) -> None:
         self._items.clear()
 

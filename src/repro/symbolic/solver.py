@@ -79,6 +79,10 @@ class _Domain:
         return self.lo <= value <= self.hi and value not in self.excluded
 
     def restrict_to(self, values: Iterable[int]) -> None:
+        if self.candidates is not None:
+            # C-speed intersection; same result as filtering via contains().
+            self.candidates = self.candidates.intersection(values)
+            return
         allowed = {v for v in values if self.contains(v)}
         self.candidates = allowed
 
@@ -136,8 +140,83 @@ def _interesting_values(expr: SymExpr) -> Set[int]:
     return values
 
 
+#: Active search implementation: ``"incremental"`` (default) or ``"legacy"``.
+#: The legacy implementation is the original reference search — it rescans
+#: the full constraint list at every node and filters unary constraints
+#: without the cross-call cache.  Both implementations visit candidate
+#: assignments in the same order and return identical results; the legacy one
+#: is kept as a differential-testing oracle and as the baseline for the
+#: replay-search benchmark's PR-over-PR comparison.
+_SEARCH_IMPL = "incremental"
+
+
+def set_search_impl(name: str) -> str:
+    """Select the search implementation; returns the previous selection."""
+
+    global _SEARCH_IMPL
+    if name not in ("incremental", "legacy"):
+        raise ValueError(f"unknown search implementation {name!r}")
+    previous = _SEARCH_IMPL
+    _SEARCH_IMPL = name
+    return previous
+
+
+def search_impl() -> str:
+    return _SEARCH_IMPL
+
+
+#: Memo of unary-constraint satisfying sets, keyed by ``(expr, lo, hi)``.
+#: The replay engine re-solves near-identical constraint sets on every run of
+#: a search, so the same single-variable constraints are filtered over the
+#: same base domains hundreds of times; expressions are immutable and
+#: hashable, which makes them perfect cache keys.
+_UNARY_FILTER_CACHE: Dict[tuple, frozenset] = {}
+_UNARY_FILTER_CACHE_LIMIT = 65536
+
+
+def _unary_satisfying_values(expr: SymExpr, name: str, domain: "_Domain"):
+    """Values satisfying the single-variable constraint *expr*.
+
+    ``Domain.restrict_to`` intersects with the current domain, so answering
+    from the variable's *base* interval (cacheable across solve calls) and
+    answering from the current (possibly already narrowed) domain produce the
+    same restriction.  Domains whose base interval is too wide to enumerate
+    fall back to filtering the current (already small) domain, uncached.
+    """
+
+    width = domain.hi - domain.lo + 1
+    if width > _MAX_ENUMERABLE_DOMAIN:
+        return [value for value in domain.iter_values()
+                if try_evaluate(expr, {name: value})]
+    key = (expr, domain.lo, domain.hi)
+    cached = _UNARY_FILTER_CACHE.get(key)
+    if cached is None:
+        if len(_UNARY_FILTER_CACHE) >= _UNARY_FILTER_CACHE_LIMIT:
+            _UNARY_FILTER_CACHE.clear()
+        cached = frozenset(
+            value for value in range(domain.lo, domain.hi + 1)
+            if try_evaluate(expr, {name: value}))
+        _UNARY_FILTER_CACHE[key] = cached
+    return cached
+
+
 class _Search:
-    """One backtracking search over the simplified constraints."""
+    """One backtracking search over the simplified constraints.
+
+    Constraint checking is *incremental*: assigning a variable only touches
+    the constraints that mention it (a fully-assigned constraint is evaluated
+    exactly once, when its last variable is bound, and a one-free-variable
+    look-ahead fires exactly when a constraint transitions to one unassigned
+    variable).  Along an assignment path a constraint's verdict can never
+    change after it was checked — earlier variables keep their values until
+    backtracking undoes them — so the pruning decisions, the visit order and
+    the first satisfying assignment are identical to re-scanning the whole
+    constraint list at every node, at a per-node cost proportional to the
+    just-assigned variable's constraint degree instead of the total
+    constraint count.  The replay engine's constraint sets grow linearly with
+    the recorded run's symbolic branches, which made the full rescans the
+    dominant cost of replay search.
+    """
 
     def __init__(self, constraints: List[SymExpr], domains: Dict[str, _Domain],
                  hint: Mapping[str, int], node_budget: int) -> None:
@@ -154,6 +233,8 @@ class _Search:
             self.constraint_vars.append(names)
             for name in names:
                 self.by_var.setdefault(name, []).append(index)
+        # Unassigned-variable count per constraint, maintained by _assign.
+        self.free_counts: List[int] = [len(names) for names in self.constraint_vars]
         self.preferred: Dict[str, List[int]] = {name: [] for name in domains}
         for name in domains:
             if name in self.hint:
@@ -164,12 +245,100 @@ class _Search:
                 self.preferred.setdefault(name, []).extend(interesting)
 
     def run(self) -> Optional[Dict[str, int]]:
+        # Variable-free constraints never reach the incremental checks; they
+        # either hold vacuously or make the whole set unsatisfiable.
+        for index, names in enumerate(self.constraint_vars):
+            if not names:
+                value = try_evaluate(self.constraints[index], {})
+                if value is None or value == 0:
+                    return None
         order = sorted(self.domains,
                        key=lambda name: (self.domains[name].size(),
                                          -len(self.by_var.get(name, ()))))
         assignment: Dict[str, int] = {}
         result = self._assign(order, 0, assignment)
         return result
+
+    def _narrowed_ok(self, name: str, assignment: Dict[str, int]) -> bool:
+        """Re-check only the constraints narrowed by assigning *name*.
+
+        A constraint whose last variable was just bound is evaluated; one
+        that dropped to a single unassigned variable gets the cheap
+        feasibility look-ahead over that variable's domain.
+        """
+
+        constraints = self.constraints
+        free_counts = self.free_counts
+        for index in self.by_var[name]:
+            free = free_counts[index]
+            if free == 0:
+                value = try_evaluate(constraints[index], assignment)
+                if value is None or value == 0:
+                    return False
+            elif free == 1:
+                (free_name,) = (n for n in self.constraint_vars[index]
+                                if n not in assignment)
+                domain = self.domains[free_name]
+                if domain.size() > 512:
+                    continue
+                residual = substitute(constraints[index], assignment)
+                self.stats.propagations += 1
+                feasible = False
+                for value in domain.iter_values(self.preferred.get(free_name, ())):
+                    if try_evaluate(residual, {free_name: value}):
+                        feasible = True
+                        break
+                if not feasible:
+                    return False
+        return True
+
+    def _assign(self, order: List[str], depth: int,
+                assignment: Dict[str, int]) -> Optional[Dict[str, int]]:
+        if self.stats.nodes >= self.node_budget:
+            self.stats.budget_exhausted = True
+            return None
+        if depth == len(order):
+            return dict(assignment)
+        name = order[depth]
+        domain = self.domains[name]
+        free_counts = self.free_counts
+        touched = self.by_var[name]
+        for index in touched:
+            free_counts[index] -= 1
+        try:
+            for value in domain.iter_values(self.preferred.get(name, ())):
+                self.stats.nodes += 1
+                if self.stats.nodes >= self.node_budget:
+                    self.stats.budget_exhausted = True
+                    return None
+                assignment[name] = value
+                if self._narrowed_ok(name, assignment):
+                    result = self._assign(order, depth + 1, assignment)
+                    if result is not None:
+                        return result
+                self.stats.backtracks += 1
+                del assignment[name]
+            return None
+        finally:
+            for index in touched:
+                free_counts[index] += 1
+
+
+class _LegacySearch(_Search):
+    """The original (PR 1) search: full constraint rescans at every node.
+
+    Kept verbatim as a reference implementation.  Differential tests assert
+    it agrees with the incremental :class:`_Search` on satisfiability and on
+    the found assignment, and the replay-search benchmark uses it as the
+    PR-over-PR baseline.
+    """
+
+    def run(self) -> Optional[Dict[str, int]]:
+        order = sorted(self.domains,
+                       key=lambda name: (self.domains[name].size(),
+                                         -len(self.by_var.get(name, ()))))
+        assignment: Dict[str, int] = {}
+        return self._assign(order, 0, assignment)
 
     def _constraints_ok(self, assignment: Dict[str, int]) -> bool:
         """Check every constraint whose variables are all assigned."""
@@ -184,8 +353,7 @@ class _Search:
                 return False
         return True
 
-    def _forward_check(self, order: List[str], depth: int,
-                       assignment: Dict[str, int]) -> bool:
+    def _forward_check(self, assignment: Dict[str, int]) -> bool:
         """Cheap look-ahead: any unassigned var whose unary residue is unsat?"""
 
         assigned = set(assignment)
@@ -224,7 +392,7 @@ class _Search:
                 self.stats.budget_exhausted = True
                 return None
             assignment[name] = value
-            if self._constraints_ok(assignment) and self._forward_check(order, depth, assignment):
+            if self._constraints_ok(assignment) and self._forward_check(assignment):
                 result = self._assign(order, depth + 1, assignment)
                 if result is not None:
                     return result
@@ -291,8 +459,11 @@ def solve(constraint_set: ConstraintSet,
         if domain.size() > _MAX_ENUMERABLE_DOMAIN:
             continue
         stats.propagations += 1
-        allowed = [value for value in domain.iter_values()
-                   if try_evaluate(expr, {name: value})]
+        if _SEARCH_IMPL == "legacy":
+            allowed = [value for value in domain.iter_values()
+                       if try_evaluate(expr, {name: value})]
+        else:
+            allowed = _unary_satisfying_values(expr, name, domain)
         domain.restrict_to(allowed)
         if domain.is_empty():
             stats.wall_seconds = time.monotonic() - start
@@ -309,7 +480,8 @@ def solve(constraint_set: ConstraintSet,
         stats.wall_seconds = time.monotonic() - start
         return SolverResult(True, assignment, stats)
 
-    search = _Search(simplified, domains, hint, node_budget)
+    search_class = _LegacySearch if _SEARCH_IMPL == "legacy" else _Search
+    search = search_class(simplified, domains, hint, node_budget)
     search.stats = stats
     assignment = search.run()
     stats.wall_seconds = time.monotonic() - start

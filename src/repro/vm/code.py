@@ -48,9 +48,12 @@ class CodeObject:
     def _format_arg(op: int, arg: object) -> str:
         if arg is None:
             return ""
-        if op == opcodes.BRANCH:
+        if op in (opcodes.BRANCH, opcodes.BRANCH_BARE):
             location, target = arg
             return f"{location.short()} -> {target}"
+        if op == opcodes.BRANCH_LOGGED:
+            location, target, slot = arg
+            return f"{location.short()} -> {target} [slot {slot}]"
         if op == opcodes.CALL:
             code, argc = arg
             return f"{code.name}/{argc}"
@@ -62,11 +65,23 @@ class CodeObject:
 
 @dataclass
 class CompiledProgram:
-    """Every code object of one program, ready for the VM."""
+    """Every code object of one program, ready for the VM.
+
+    When compiled for a specific :class:`~repro.instrument.plan.
+    InstrumentationPlan` (*plan-specialized* code), ``plan_fingerprint``
+    identifies the plan the instruction stream was specialized for and
+    ``logged_locations`` maps every ``BRANCH_LOGGED`` slot index back to its
+    :class:`~repro.lang.cfg.BranchLocation` (the VM keeps one inline counter
+    per slot and merges them into the logger's per-location statistics at the
+    end of the run).  Unspecialized code has ``plan_fingerprint is None`` and
+    an empty slot table.
+    """
 
     name: str
     functions: Dict[str, CodeObject] = field(default_factory=dict)
     globals_code: Optional[CodeObject] = None
+    plan_fingerprint: Optional[Tuple] = None
+    logged_locations: List[object] = field(default_factory=list)
 
     @property
     def main(self) -> CodeObject:

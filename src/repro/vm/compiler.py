@@ -18,12 +18,21 @@ with the tree-walking interpreter (which the differential tests in
   error type, message and source line as the interpreter (e.g. a call to an
   undefined function only fails if executed), never at compile time.
 
-Compilation is cached per :class:`Program` instance (``compile_program``), so
-the replay engine's repeated runs compile once.
+Compilation is cached per ``(Program, plan fingerprint)`` pair
+(``compile_program``), so the replay engine's hundreds of re-runs compile once
+per instrumentation plan.  Passing an :class:`~repro.instrument.plan.
+InstrumentationPlan` produces *plan-specialized* code: branches the plan
+instruments compile to ``BRANCH_LOGGED`` (the VM inlines the bitvector
+append/compare) and every other branch compiles to the hook-free
+``BRANCH_BARE`` — uninstrumented branches pay zero hook dispatch, mirroring
+the paper's "overhead only where you instrument".  Without a plan the legacy
+``BRANCH`` (every event dispatched to the hooks) is emitted, which any
+:class:`~repro.interp.tracer.ExecutionHooks` implementation can observe.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional
 
 from repro.interp.builtins import lookup_builtin
@@ -58,17 +67,53 @@ from repro.lang.program import Program
 from repro.vm import opcodes as op
 from repro.vm.code import CodeObject, CompiledProgram
 
-_CACHE_ATTR = "_vm_compiled"
+_CACHE_ATTR = "_vm_compiled_by_plan"
+
+#: Process-wide compiled-code cache counters (all programs, all plans).
+#: Guarded by a lock because replay workers construct VMs concurrently and
+#: the counters are a diagnostic whose sums must add up.
+_CACHE_STATS = {"hits": 0, "misses": 0}
+_CACHE_STATS_LOCK = threading.Lock()
 
 
-def compile_program(program: Program) -> CompiledProgram:
-    """Compile *program*, caching the result on the program instance."""
+def cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the ``(Program, plan)`` compiled-code cache."""
 
-    cached = getattr(program, _CACHE_ATTR, None)
+    with _CACHE_STATS_LOCK:
+        return dict(_CACHE_STATS)
+
+
+def reset_cache_stats() -> None:
+    with _CACHE_STATS_LOCK:
+        _CACHE_STATS["hits"] = 0
+        _CACHE_STATS["misses"] = 0
+
+
+def compile_program(program: Program, plan=None) -> CompiledProgram:
+    """Compile *program* for *plan*, caching per ``(program, fingerprint)``.
+
+    ``plan=None`` compiles unspecialized code (cache key ``None``); a plan
+    keys the cache on :meth:`~repro.instrument.plan.InstrumentationPlan.
+    fingerprint`, so specialized code compiled for one plan can never be
+    handed to a run using a different plan — two plans only share code when
+    their instrumented branch sets are identical (in which case the code
+    streams are, too).
+    """
+
+    key = None if plan is None else plan.fingerprint()
+    cache = getattr(program, _CACHE_ATTR, None)
+    if cache is None:
+        cache = {}
+        setattr(program, _CACHE_ATTR, cache)
+    cached = cache.get(key)
     if cached is not None:
+        with _CACHE_STATS_LOCK:
+            _CACHE_STATS["hits"] += 1
         return cached
-    compiled = Compiler(program).compile()
-    setattr(program, _CACHE_ATTR, compiled)
+    with _CACHE_STATS_LOCK:
+        _CACHE_STATS["misses"] += 1
+    compiled = Compiler(program, plan=plan).compile()
+    cache[key] = compiled
     return compiled
 
 
@@ -82,10 +127,14 @@ class _Label:
 
 
 class Compiler:
-    """Compiles every function of one program."""
+    """Compiles every function of one program (optionally plan-specialized)."""
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program, plan=None) -> None:
         self.program = program
+        self.plan = plan
+        # Slot table for BRANCH_LOGGED: slot index -> BranchLocation.  The VM
+        # keeps one inline execution counter per slot.
+        self.logged_locations: List[object] = []
         # Stubs first so recursive and mutual calls can reference callees.
         self.code_objects: Dict[str, CodeObject] = {
             name: CodeObject(name=name, params=[p.name for p in fn.params],
@@ -108,7 +157,10 @@ class Compiler:
             body_emitter.finish()
         return CompiledProgram(name=self.program.name,
                                functions=self.code_objects,
-                               globals_code=globals_code)
+                               globals_code=globals_code,
+                               plan_fingerprint=(None if self.plan is None
+                                                 else self.plan.fingerprint()),
+                               logged_locations=self.logged_locations)
 
 
 class _FunctionEmitter:
@@ -161,9 +213,26 @@ class _FunctionEmitter:
         for pc, (opcode, arg, charge, line) in enumerate(self.instructions):
             if opcode in jump_ops and isinstance(arg, _Label):
                 self.instructions[pc] = (opcode, arg.pc, charge, line)
-            elif opcode == op.BRANCH:
+            elif opcode in (op.BRANCH, op.BRANCH_BARE):
                 location, label = arg
                 self.instructions[pc] = (opcode, (location, label.pc), charge, line)
+            elif opcode == op.BRANCH_LOGGED:
+                location, label, slot = arg
+                self.instructions[pc] = (opcode, (location, label.pc, slot),
+                                         charge, line)
+
+    def emit_branch(self, location, else_label: _Label) -> None:
+        """Emit the branch flavour the compilation mode calls for."""
+
+        plan = self.compiler.plan
+        if plan is None:
+            self.emit(op.BRANCH, (location, else_label))
+        elif plan.is_instrumented(location):
+            slot = len(self.compiler.logged_locations)
+            self.compiler.logged_locations.append(location)
+            self.emit(op.BRANCH_LOGGED, (location, else_label, slot))
+        else:
+            self.emit(op.BRANCH_BARE, (location, else_label))
 
     # -- statements ------------------------------------------------------------
 
@@ -195,7 +264,8 @@ class _FunctionEmitter:
                 self.compile_expr(stmt.value)
             else:
                 self.emit(op.CONST, ZERO)
-            self.emit(op.RET)
+            if not self._fuse_load_ret():
+                self.emit(op.RET)
         elif isinstance(stmt, Break):
             self._compile_loop_exit(stmt, is_break=True)
         elif isinstance(stmt, Continue):
@@ -222,7 +292,7 @@ class _FunctionEmitter:
         else_label = self.new_label()
         self.compile_expr(stmt.cond)
         location = branch_location_for(self.function_name, stmt)
-        self.emit(op.BRANCH, (location, else_label))
+        self.emit_branch(location, else_label)
         self.compile_stmt(stmt.then)
         if stmt.otherwise is not None:
             end_label = self.new_label()
@@ -239,7 +309,7 @@ class _FunctionEmitter:
         self.bind(header)  # flushes the while-statement charge before the loop
         self.compile_expr(stmt.cond)
         location = branch_location_for(self.function_name, stmt)
-        self.emit(op.BRANCH, (location, after))
+        self.emit_branch(location, after)
         self.loops.append((after, header, self.scope_depth))
         self.compile_stmt(stmt.body)
         self.loops.pop()
@@ -258,7 +328,7 @@ class _FunctionEmitter:
         if stmt.cond is not None:
             self.compile_expr(stmt.cond)
             location = branch_location_for(self.function_name, stmt)
-            self.emit(op.BRANCH, (location, after))
+            self.emit_branch(location, after)
         self.loops.append((after, cont, self.scope_depth))
         self.compile_stmt(stmt.body)
         self.loops.pop()
@@ -296,7 +366,8 @@ class _FunctionEmitter:
         if keep_value:
             self.emit(op.DUP)
         if isinstance(target, Identifier):
-            self.emit(op.STORE, target.name, line=target.line)
+            if keep_value or not self._fuse_binop_store(target):
+                self.emit(op.STORE, target.name, line=target.line)
         elif isinstance(target, ArrayIndex):
             self.compile_expr(target.base)
             self.compile_expr(target.index)
@@ -410,6 +481,46 @@ class _FunctionEmitter:
                                  (operator, first_arg, second_arg,
                                   first_line, second_line),
                                  charge, line))
+        return True
+
+    def _fuse_binop_store(self, target: Identifier) -> bool:
+        """Peephole: collapse ``BINOP_N*;STORE`` (the ``i = i + 1`` shape).
+
+        The fused opcodes compute the fused binary operation and assign the
+        result in one dispatch — the single hottest statement shape in every
+        counting loop.  Declined when a bound label points at the would-be
+        ``STORE`` position (a jump could then land expecting the store still
+        to happen).  Fusing *onto* a label-bound position is fine: the fused
+        instruction performs exactly what a jump there expected.
+        """
+
+        instructions = self.instructions
+        if not instructions or len(instructions) in self._bound_positions:
+            return False
+        opcode, arg, charge, line = instructions[-1]
+        if opcode == op.BINOP_NC:
+            fused = op.BINOP_NC_STORE
+        elif opcode == op.BINOP_NN:
+            fused = op.BINOP_NN_STORE
+        else:
+            return False
+        charge += self.pending
+        self.pending = 0
+        instructions[-1] = (fused, arg + (target.name,), charge, line)
+        return True
+
+    def _fuse_load_ret(self) -> bool:
+        """Peephole: collapse ``LOAD;RET`` (the ``return x;`` shape)."""
+
+        instructions = self.instructions
+        if not instructions or len(instructions) in self._bound_positions:
+            return False
+        opcode, arg, charge, line = instructions[-1]
+        if opcode != op.LOAD:
+            return False
+        charge += self.pending
+        self.pending = 0
+        instructions[-1] = (op.LOAD_RET, arg, charge, line)
         return True
 
     def _compile_ternary(self, node: TernaryOp) -> None:

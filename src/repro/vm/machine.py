@@ -15,6 +15,18 @@ What makes it faster than the tree-walker is purely the execution substrate:
 a flat dispatch loop over pre-lowered instruction tuples instead of recursive
 ``isinstance``-dispatched AST visits, and an undo-log scope representation
 that makes variable lookups a single dict probe.
+
+When the installed hooks are the branch-logging runtime
+(:class:`~repro.instrument.logger.BranchLogger`) or the replay-run policy
+(:class:`~repro.replay.hooks.ReplayRunHooks`) — recognised duck-typed via
+their ``vm_inline`` attribute — the machine additionally runs
+*plan-specialized* code (see :mod:`repro.vm.compiler`): instrumented branches
+execute ``BRANCH_LOGGED`` with the bitvector append (record) or
+append/compare cursor walk (replay) inlined into the dispatch loop, and all
+other branches execute the hook-free ``BRANCH_BARE``.  Only the rare slow
+paths (symbolic conditions, bitvector mismatches) call back into the hook
+object, whose bookkeeping the machine merges at the end of the run so the
+observable behaviour is bit-identical to the unspecialized engines.
 """
 
 from __future__ import annotations
@@ -104,7 +116,6 @@ class VirtualMachine:
                  binder: Optional[InputBinder] = None,
                  config: Optional[ExecutionConfig] = None) -> None:
         self.program = program
-        self.compiled = compile_program(program)
         self.kernel = kernel or Kernel()
         self.hooks = hooks or NullHooks()
         self.config = config or ExecutionConfig()
@@ -116,6 +127,40 @@ class VirtualMachine:
         self._frames: List[_Frame] = []
         self._string_cache: Dict[int, ArrayObject] = {}
         self._syscall_seen = 0
+        # Plan specialization: compile for the hooks' instrumentation plan
+        # when the hooks opt in (BranchLogger / ReplayRunHooks), otherwise run
+        # legacy code whose BRANCH dispatches every event to the hooks.
+        self._spec = self._select_specialization()
+        plan = getattr(self.hooks, "plan", None) if self._spec else None
+        self.compiled = compile_program(program, plan)
+        # Inline state for the specialized branch opcodes.  ``_rec_append``
+        # doubles as the record/replay discriminator in the dispatch loop.
+        self._rec_append = None
+        self._slot_counts: List[int] = []
+        self._replay_bits: List[bool] = []
+        self._replay_len = 0
+        self._cursor_cell = [0]
+        if self._spec == "record":
+            self._rec_append = self.hooks.bitvector.bits.append
+            self._slot_counts = [0] * len(self.compiled.logged_locations)
+        elif self._spec == "replay":
+            bitvector = self.hooks.bitvector
+            bits = getattr(bitvector, "bits", None)
+            self._replay_bits = bits if bits is not None else list(bitvector)
+            self._replay_len = len(self._replay_bits)
+            self._cursor_cell = self.hooks.cursor_cell
+
+    def _select_specialization(self) -> Optional[str]:
+        if not self.config.specialize_plans:
+            return None
+        if getattr(self.hooks, "plan", None) is None:
+            return None
+        mode = getattr(self.hooks, "vm_inline", None)
+        if mode == "record" and self.hooks.vm_can_inline():
+            return "record"
+        if mode == "replay" and hasattr(self.hooks, "cursor_cell"):
+            return "replay"
+        return None
 
     # -- interpreter-compatible surface (used by shared builtins) ---------------
 
@@ -157,6 +202,12 @@ class VirtualMachine:
             result.exit_code = as_int(exit_value).concrete
         except GUEST_EXCEPTIONS as exc:
             classify_run_exception(result, exc, self.current_function_name())
+        if self._spec == "record":
+            self.hooks.vm_merge(self.branch_counter,
+                                self.compiled.logged_locations,
+                                self._slot_counts)
+        elif self._spec == "replay":
+            self.hooks.vm_finish(self.branch_counter)
         result.steps = self._steps[0]
         result.branch_executions = self.branch_counter
         result.symbolic_branch_executions = self.symbolic_branch_counter
@@ -214,6 +265,12 @@ class VirtualMachine:
         global_vars = self.globals
         frame_vars = frame.vars
         hooks = self.hooks
+        # Plan-specialized inline state (None / empty when unspecialized).
+        rec_append = self._rec_append
+        slot_counts = self._slot_counts
+        replay_bits = self._replay_bits
+        replay_len = self._replay_len
+        cursor_cell = self._cursor_cell
         pc = 0
         while pc < end:
             opcode, arg, charge, line = instructions[pc]
@@ -270,6 +327,55 @@ class VirtualMachine:
                         raise DivisionByZeroError("division by zero", line)
                 else:
                     push(pointer_binary_op(operator, left, right, line))
+            elif opcode == op.BINOP_NC_STORE:
+                operator, name, right, load_line, target_name = arg
+                left = frame_vars.get(name, _MISSING)
+                if left is _MISSING:
+                    left = global_vars.get(name, _MISSING)
+                    if left is _MISSING:
+                        raise RuntimeMiniCError(f"undefined variable '{name}'",
+                                                load_line)
+                if type(left) is ConcolicValue:
+                    try:
+                        value = binary_int_op(operator, left, right)
+                    except ZeroDivisionError:
+                        raise DivisionByZeroError("division by zero", line)
+                else:
+                    value = pointer_binary_op(operator, left, right, line)
+                if target_name in frame_vars:
+                    frame_vars[target_name] = value
+                elif target_name in global_vars:
+                    global_vars[target_name] = value
+                else:
+                    frame.declare(target_name, value)
+            elif opcode == op.BINOP_NN_STORE:
+                (operator, left_name, right_name,
+                 left_line, right_line, target_name) = arg
+                left = frame_vars.get(left_name, _MISSING)
+                if left is _MISSING:
+                    left = global_vars.get(left_name, _MISSING)
+                    if left is _MISSING:
+                        raise RuntimeMiniCError(
+                            f"undefined variable '{left_name}'", left_line)
+                right = frame_vars.get(right_name, _MISSING)
+                if right is _MISSING:
+                    right = global_vars.get(right_name, _MISSING)
+                    if right is _MISSING:
+                        raise RuntimeMiniCError(
+                            f"undefined variable '{right_name}'", right_line)
+                if type(left) is ConcolicValue and type(right) is ConcolicValue:
+                    try:
+                        value = binary_int_op(operator, left, right)
+                    except ZeroDivisionError:
+                        raise DivisionByZeroError("division by zero", line)
+                else:
+                    value = pointer_binary_op(operator, left, right, line)
+                if target_name in frame_vars:
+                    frame_vars[target_name] = value
+                elif target_name in global_vars:
+                    global_vars[target_name] = value
+                else:
+                    frame.declare(target_name, value)
             elif opcode == op.BINARY:
                 right = pop()
                 left = pop()
@@ -300,6 +406,67 @@ class VirtualMachine:
                 if symbolic:
                     self.symbolic_branch_counter += 1
                 hooks.on_branch(event)
+                if not taken:
+                    pc = target
+            elif opcode == op.BRANCH_LOGGED:
+                # Plan-specialized instrumented branch: the bitvector append
+                # (record) / cursor compare (replay) is inlined; only symbolic
+                # conditions and deviations reach the hook object.
+                location, target, slot = arg
+                value = pop()
+                if type(value) is ConcolicValue:
+                    taken = value.concrete != 0
+                    sym = value.symbolic
+                else:
+                    taken = as_int(value).concrete != 0
+                    sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is None:
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot] += 1
+                    else:
+                        cursor = cursor_cell[0]
+                        if cursor >= replay_len:
+                            hooks.vm_log_exhausted(location)  # raises AbortRun
+                        cursor_cell[0] = cursor + 1
+                        if replay_bits[cursor] != taken:
+                            hooks.vm_concrete_mismatch(location, cursor)
+                else:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot] += 1
+                    else:
+                        expr = as_condition(sym)
+                        hooks.vm_logged_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))  # may raise AbortRun
+                if not taken:
+                    pc = target
+            elif opcode == op.BRANCH_BARE:
+                # Plan-specialized uninstrumented branch: zero hook dispatch
+                # unless the condition is symbolic (replay case 1).
+                location, target = arg
+                value = pop()
+                if type(value) is ConcolicValue:
+                    taken = value.concrete != 0
+                    sym = value.symbolic
+                else:
+                    taken = as_int(value).concrete != 0
+                    sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is not None:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is None:
+                        expr = as_condition(sym)
+                        hooks.vm_bare_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))
                 if not taken:
                     pc = target
             elif opcode == op.JUMP:
@@ -366,6 +533,14 @@ class VirtualMachine:
                 push(stack[-1])
             elif opcode == op.RET:
                 return pop()
+            elif opcode == op.LOAD_RET:
+                value = frame_vars.get(arg, _MISSING)
+                if value is _MISSING:
+                    value = global_vars.get(arg, _MISSING)
+                    if value is _MISSING:
+                        raise RuntimeMiniCError(f"undefined variable '{arg}'",
+                                                line)
+                return value
             elif opcode == op.UNARY:
                 value = pop()
                 if type(value) is Pointer:

@@ -52,6 +52,9 @@ UNARY = 19         # arg: operator string
 BINARY = 20        # arg: operator string (non-short-circuit)
 BINOP_NC = 33      # arg: (op, name, const, load_line) — fused LOAD;CONST;BINARY
 BINOP_NN = 34      # arg: (op, name1, name2, l1, l2) — fused LOAD;LOAD;BINARY
+BINOP_NC_STORE = 35  # arg: (op, name, const, load_line, target) — ...;STORE
+BINOP_NN_STORE = 36  # arg: (op, name1, name2, l1, l2, target) — ...;STORE
+LOAD_RET = 37      # arg: name — fused LOAD;RET (the `return x;` shape)
 AND_JUMP = 21      # arg: target — short-circuit the && when TOS is falsy
 AND_END = 22       # combine the two operands of a fully evaluated &&
 OR_JUMP = 23       # arg: target — short-circuit the || when TOS is truthy
@@ -60,6 +63,12 @@ TERN_FALSE = 25    # arg: target — ternary selector (no branch event)
 
 # Control flow with events ----------------------------------------------------
 BRANCH = 26        # arg: (BranchLocation, else_target) — pop cond, emit event
+# Plan-specialized variants (only emitted when compiling for a specific
+# InstrumentationPlan — see repro.vm.compiler.compile_program):
+BRANCH_BARE = 38   # arg: (BranchLocation, else_target) — uninstrumented: no
+                   # hook dispatch unless the condition is symbolic
+BRANCH_LOGGED = 39  # arg: (BranchLocation, else_target, slot) — instrumented:
+                    # inline bitvector append (record) / compare (replay)
 
 # Calls -----------------------------------------------------------------------
 CALL = 27          # arg: (CodeObject, argc) — call a user-defined function

@@ -11,12 +11,15 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.environment import Environment, simple_environment
+from repro.workloads.minic_lib import READ_LINE_SNIPPET
 
-SOURCE = r"""
+_TEMPLATE = r"""
 /* paste: merge corresponding lines of input files with delimiters. */
 
 char DELIMS[16];
 int DELIM_COUNT;
+
+@READ_LINE@
 
 int collect_delimiters(char *list) {
     int i = 0;
@@ -120,6 +123,8 @@ int main(int argc, char **argv) {
     return status;
 }
 """
+
+SOURCE = _TEMPLATE.replace("@READ_LINE@", READ_LINE_SNIPPET)
 
 
 def bug_scenario() -> Environment:

@@ -16,8 +16,9 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.environment import Environment, simple_environment
+from repro.workloads.minic_lib import READ_LINE_SNIPPET
 
-SOURCE = r"""
+_TEMPLATE = r"""
 /* diff: compare two text files line by line with a one-line resync
  * heuristic for insertions and deletions. */
 
@@ -30,6 +31,7 @@ int LEN_B[128];
 int COUNT_A;
 int COUNT_B;
 
+@READ_LINE@
 int read_file_lines(char *path, char *buf, int *starts, int *lens) {
     char line[256];
     int fd = open(path, 0);
@@ -158,6 +160,8 @@ int main(int argc, char **argv) {
     return 0;
 }
 """
+
+SOURCE = _TEMPLATE.replace("@READ_LINE@", READ_LINE_SNIPPET)
 
 EXP1_FILES: Dict[str, bytes] = {
     "/old.txt": b"alpha\nbravo\ncharlie\ndelta\n",

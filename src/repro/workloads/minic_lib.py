@@ -1,0 +1,35 @@
+"""Shared MiniC library snippets interpolated into workload SOURCE strings.
+
+These play the role of uClibc in the paper: library code that is part of the
+*guest* program, so its branches are visible to the branch-logging
+instrumentation (and therefore reconstructible by the replay search), unlike
+host-level builtins whose control flow is invisible to the bitvector.
+"""
+
+READ_LINE_SNIPPET = r"""
+/* Line input implemented in guest code (the uClibc analogue): the newline
+ * scan is a real branch the instrumentation can log, which is what lets the
+ * replay search reconstruct line boundaries from the bitvector.  Shadows the
+ * host-level read_line builtin in every workload that includes it. */
+int read_line(int fd, char *line, int capacity) {
+    int stored = 0;
+    int n;
+    char ch[1];
+    while (stored < capacity - 1) {
+        n = read(fd, ch, 1);
+        if (n <= 0) {
+            break;
+        }
+        line[stored] = ch[0];
+        stored = stored + 1;
+        if (ch[0] == '\n') {
+            break;
+        }
+    }
+    line[stored] = 0;
+    if (stored == 0) {
+        return 0 - 1;
+    }
+    return stored;
+}
+"""

@@ -1,0 +1,354 @@
+"""Differential parity for plan-specialized bytecode and parallel replay.
+
+The VM may compile a different instruction stream per
+:class:`InstrumentationPlan` (``BRANCH_LOGGED`` / ``BRANCH_BARE``) and run its
+bitvector bookkeeping inline, and the replay engine may spread its search
+over a speculative worker pool — but none of that is allowed to be
+*observable*: for every workload and for empty / partial / full plans, the
+recorded bitvectors, syscall logs, per-location statistics, crash sites and
+the entire explored replay search tree must match the unspecialized
+tree-walking interpreter bit for bit, and a parallel search must explore
+exactly the runs the serial one does.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import Pipeline
+from repro.environment import simple_environment
+from repro.instrument.logger import BranchLogger
+from repro.instrument.methods import InstrumentationMethod, build_plan
+from repro.interp.backend import create_backend
+from repro.interp.inputs import ExecutionMode, InputBinder
+from repro.interp.interpreter import ExecutionConfig
+from repro.lang.program import Program
+from repro.replay.budget import ReplayBudget
+from repro.replay.engine import ReplayEngine
+from repro.symbolic import solver as solver_mod
+from repro.symbolic.constraints import ConstraintSet
+from repro.symbolic.expr import SymBinOp, SymConst, sym_var
+from repro.vm import opcodes as op
+from repro.vm.compiler import cache_stats, compile_program, reset_cache_stats
+from repro.workloads import all_cases, diffutil, userver
+from repro.workloads.coreutils import ALL_PROGRAMS
+
+CASES = all_cases()
+CASE_IDS = [name for name, _, _ in CASES]
+
+_PROGRAMS = {}
+
+
+def program_for(name: str, source: str) -> Program:
+    key = name.rsplit("-", 1)[0]
+    if key not in _PROGRAMS:
+        _PROGRAMS[key] = Program.from_source(source, name=key)
+    return _PROGRAMS[key]
+
+
+def plan_variants(program: Program):
+    """Empty, partial (every other location) and full instrumentation plans."""
+
+    locations = sorted(program.branch_locations)
+    return {
+        "empty": build_plan(InstrumentationMethod.NONE, program.branch_locations),
+        "partial": build_plan(InstrumentationMethod.ALL_BRANCHES,
+                              program.branch_locations).__class__.from_sets(
+                                  "partial", locations[::2], locations),
+        "full": build_plan(InstrumentationMethod.ALL_BRANCHES,
+                           program.branch_locations),
+    }
+
+
+def record_fingerprint(program: Program, environment, plan, backend: str,
+                       specialize: bool) -> tuple:
+    logger = BranchLogger(plan)
+    executor = create_backend(
+        program,
+        kernel=environment.make_kernel(),
+        hooks=logger,
+        binder=InputBinder(mode=ExecutionMode.RECORD),
+        config=ExecutionConfig(mode=ExecutionMode.RECORD, backend=backend,
+                               specialize_plans=specialize),
+    )
+    result = executor.run(environment.argv)
+    crash = None
+    if result.crash is not None:
+        crash = (result.crash.function, result.crash.line, result.crash.message)
+    return (
+        result.exit_code, result.steps, result.branch_executions,
+        result.symbolic_branch_executions, result.syscall_count,
+        result.stdout, crash,
+        tuple(logger.bitvector),
+        logger.bitvector.flushes,
+        tuple(sorted((kind.value, tuple(values)) for kind, values
+                     in logger.syscall_log.results.items())),
+        logger.instrumented_executions,
+        logger.total_branch_executions,
+        tuple(sorted((loc.function, loc.node_id, count) for loc, count
+                     in logger.per_location_executions.items())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Recording parity: specialized VM vs interpreter, across plan shapes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("plan_kind", ["empty", "partial", "full"])
+@pytest.mark.parametrize("name, source, environment", CASES, ids=CASE_IDS)
+def test_specialized_recording_parity(name, source, environment, plan_kind):
+    program = program_for(name, source)
+    plan = plan_variants(program)[plan_kind]
+    reference = record_fingerprint(program, environment, plan, "interp", True)
+    specialized = record_fingerprint(program, environment, plan, "vm", True)
+    unspecialized = record_fingerprint(program, environment, plan, "vm", False)
+    assert specialized == reference
+    assert unspecialized == reference
+
+
+# ---------------------------------------------------------------------------
+# Replay-search parity: the explored tree is identical across engines
+# ---------------------------------------------------------------------------
+
+
+def outcome_fingerprint(outcome) -> tuple:
+    crash = None
+    if outcome.crash_site is not None:
+        crash = (outcome.crash_site.function, outcome.crash_site.line)
+    return (
+        outcome.reproduced, outcome.runs, outcome.solver_calls,
+        tuple((r.outcome, r.consumed_bits, r.constraints, r.deviation)
+              for r in outcome.run_records),
+        tuple(sorted(outcome.pending_stats.items())),
+        tuple(sorted(outcome.found_input.items())),
+        crash,
+    )
+
+
+def replay_search(pipeline, recording, backend: str, specialize: bool,
+                  workers: int, plan=None, max_runs: int = 400):
+    engine = ReplayEngine(
+        program=pipeline.program,
+        plan=plan or recording.plan,
+        bitvector=recording.bitvector,
+        syscall_log=recording.syscall_log if recording.plan.log_syscalls else None,
+        crash_site=recording.crash_site,
+        environment=recording.environment.scaffold(),
+        # Run-count bounded (not wall-clock bounded) so the termination point
+        # is deterministic across engines and machines.
+        budget=ReplayBudget(max_runs=max_runs, max_seconds=600),
+        backend=backend,
+        workers=workers,
+        specialize_plans=specialize,
+    )
+    return engine.reproduce()
+
+
+REPLAY_SCENARIOS = {
+    "mkdir": lambda: (ALL_PROGRAMS["mkdir"].SOURCE,
+                      ALL_PROGRAMS["mkdir"].bug_scenario(), frozenset()),
+    "paste": lambda: (ALL_PROGRAMS["paste"].SOURCE,
+                      ALL_PROGRAMS["paste"].bug_scenario(), frozenset()),
+    "diff": lambda: (diffutil.SOURCE, diffutil.experiment_1(), frozenset()),
+    "userver": lambda: (userver.SOURCE, userver.experiment(1),
+                        frozenset(userver.LIBRARY_FUNCTIONS)),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(REPLAY_SCENARIOS))
+def test_replay_search_parity(workload):
+    source, environment, lib = REPLAY_SCENARIOS[workload]()
+    pipeline = Pipeline.from_source(
+        source, name=f"spec-{workload}",
+        config=PipelineConfig(library_functions=set(lib)))
+    plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES,
+                              environment=environment)
+    recording = pipeline.record(plan, environment)
+    reference = outcome_fingerprint(
+        replay_search(pipeline, recording, "interp", True, 1))
+    for backend, specialize, workers in (("vm", False, 1), ("vm", True, 1),
+                                         ("vm", True, 4)):
+        outcome = replay_search(pipeline, recording, backend, specialize, workers)
+        assert outcome_fingerprint(outcome) == reference, (
+            f"{workload}: {backend}/specialize={specialize}/workers={workers} "
+            f"diverged from the interpreter search")
+    assert reference[0], f"{workload}: search did not reproduce the crash"
+
+
+def test_parallel_replay_determinism_with_fat_pending():
+    """A partial plan fans the pending list out; workers must not change it."""
+
+    source, environment, lib = REPLAY_SCENARIOS["userver"]()
+    pipeline = Pipeline.from_source(
+        source, name="spec-userver-partial",
+        config=PipelineConfig(library_functions=set(lib)))
+    locations = sorted(pipeline.program.branch_locations)
+    partial = build_plan(InstrumentationMethod.ALL_BRANCHES,
+                         pipeline.program.branch_locations).from_sets(
+                             "partial", locations[::2], locations)
+    recording = pipeline.record(partial, environment)
+    serial = replay_search(pipeline, recording, "vm", True, 1, max_runs=40)
+    parallel = replay_search(pipeline, recording, "vm", True, 4, max_runs=40)
+    assert outcome_fingerprint(serial) == outcome_fingerprint(parallel)
+    # The pool actually speculated (the search has a fat pending list), yet
+    # the explored tree is still byte-identical to the serial engine's.
+    assert parallel.speculated_items > 0
+    assert serial.speculated_items == 0
+
+
+def test_pipeline_threads_workers_and_specialization():
+    module = ALL_PROGRAMS["mkfifo"]
+    outcomes = {}
+    for workers, specialize in ((1, False), (4, True)):
+        config = PipelineConfig(backend="vm", replay_workers=workers,
+                                specialize_plans=specialize)
+        pipeline = Pipeline.from_source(module.SOURCE, name="mkfifo-cfg",
+                                        config=config)
+        plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES,
+                                  environment=module.bug_scenario())
+        recording = pipeline.record(plan, module.bug_scenario())
+        report = pipeline.reproduce(recording)
+        outcomes[(workers, specialize)] = outcome_fingerprint(report.outcome)
+        assert report.outcome.workers == workers
+    assert outcomes[(1, False)] == outcomes[(4, True)]
+
+
+# ---------------------------------------------------------------------------
+# The plan-aware compiled-code cache
+# ---------------------------------------------------------------------------
+
+
+def test_compile_cache_is_plan_aware():
+    program = Program.from_source(diffutil.SOURCE, name="cache-probe")
+    locations = sorted(program.branch_locations)
+    empty = build_plan(InstrumentationMethod.NONE, program.branch_locations)
+    full = build_plan(InstrumentationMethod.ALL_BRANCHES, program.branch_locations)
+    partial = full.from_sets("partial", locations[::2], locations)
+
+    reset_cache_stats()
+    unspecialized = compile_program(program)
+    code_empty = compile_program(program, empty)
+    code_full = compile_program(program, full)
+    code_partial = compile_program(program, partial)
+    assert cache_stats() == {"hits": 0, "misses": 4}
+
+    # Hits return the identical object for the identical plan fingerprint...
+    assert compile_program(program, full) is code_full
+    assert compile_program(program) is unspecialized
+    # ...including a *different* plan object with the same instrumented set.
+    refreshed = full.from_sets("renamed", full.instrumented, full.all_locations,
+                               log_syscalls=False)
+    assert compile_program(program, refreshed) is code_full
+    assert cache_stats() == {"hits": 3, "misses": 4}
+
+    # Stale specialization can never leak across plans: every variant is a
+    # distinct code object stamped with its own fingerprint.
+    variants = {id(c) for c in (unspecialized, code_empty, code_full, code_partial)}
+    assert len(variants) == 4
+    assert unspecialized.plan_fingerprint is None
+    assert code_full.plan_fingerprint == full.fingerprint()
+    assert code_partial.plan_fingerprint == partial.fingerprint()
+    assert len(code_full.logged_locations) == len(locations)
+    assert len(code_partial.logged_locations) == len(locations[::2])
+    assert not code_empty.logged_locations
+
+
+def test_specialized_opcodes_follow_the_plan():
+    source = """
+        int main(int argc, char **argv) {
+            int i; int total = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i > argc) { total = total + i; }
+            }
+            return total;
+        }
+    """
+    program = Program.from_source(source, name="opcode-probe")
+    locations = sorted(program.branch_locations)
+    partial = build_plan(InstrumentationMethod.ALL_BRANCHES,
+                         program.branch_locations).from_sets(
+                             "partial", locations[:1], locations)
+    specialized = compile_program(program, partial)
+    opcodes = [instr[0] for code in specialized.functions.values()
+               for instr in code.instructions]
+    assert opcodes.count(op.BRANCH_LOGGED) == 1
+    assert opcodes.count(op.BRANCH_BARE) == len(locations) - 1
+    assert op.BRANCH not in opcodes
+
+    unspecialized = compile_program(program)
+    plain = [instr[0] for code in unspecialized.functions.values()
+             for instr in code.instructions]
+    assert plain.count(op.BRANCH) == len(locations)
+    assert op.BRANCH_LOGGED not in plain and op.BRANCH_BARE not in plain
+
+
+def test_superinstructions_emitted():
+    source = """
+        int bump(int n) { int r = n * 2; return r; }
+        int main() {
+            int i = 0; int total = 0;
+            while (i < 8) { total = total + i; i = i + 1; }
+            return bump(total);
+        }
+    """
+    program = Program.from_source(source, name="fusion-probe")
+    compiled = compile_program(program)
+    opcodes = [instr[0] for code in compiled.functions.values()
+               for instr in code.instructions]
+    assert op.BINOP_NC_STORE in opcodes  # i = i + 1
+    assert op.BINOP_NN_STORE in opcodes  # total = total + i
+    assert op.LOAD_RET in opcodes        # return r;
+
+
+# ---------------------------------------------------------------------------
+# The incremental constraint search vs the legacy reference
+# ---------------------------------------------------------------------------
+
+
+def test_incremental_search_matches_legacy_reference():
+    rng = random.Random(20260730)
+    operators = ["==", "!=", "<", "<=", ">", ">="]
+    for _ in range(120):
+        variable_count = rng.randint(1, 6)
+        variables = [sym_var(f"v{i}", 0, 255) for i in range(variable_count)]
+        constraints = ConstraintSet()
+        for origin in range(rng.randint(1, 10)):
+            left = rng.choice(variables)
+            if variable_count > 1 and rng.random() < 0.3:
+                expr = SymBinOp(rng.choice(operators), left, rng.choice(variables))
+            else:
+                expr = SymBinOp(rng.choice(operators), left,
+                                SymConst(rng.randint(0, 255)))
+            constraints.add_expr(expr, origin=origin)
+        hint = {f"v{i}": rng.randint(0, 255) for i in range(variable_count)
+                if rng.random() < 0.7}
+        previous = solver_mod.set_search_impl("legacy")
+        try:
+            legacy = solver_mod.solve(constraints, hint=hint)
+        finally:
+            solver_mod.set_search_impl(previous)
+        fast = solver_mod.solve(constraints, hint=hint)
+        assert (legacy.satisfiable, legacy.assignment) == (
+            fast.satisfiable, fast.assignment)
+
+
+# ---------------------------------------------------------------------------
+# The replay scaffold's structural argv
+# ---------------------------------------------------------------------------
+
+
+def test_scaffold_keeps_path_arguments_only():
+    environment = simple_environment(
+        ["diff", "/old.txt", "secret-flag"],
+        files={"/old.txt": b"alpha\n"}, name="scaffold-probe")
+    scaffold = environment.scaffold()
+    assert scaffold.argv[0] == "diff"
+    assert scaffold.argv[1] == "/old.txt"          # path: structural, kept
+    assert scaffold.argv[2] == "A" * len("secret-flag")  # data: blanked
+    kernel = scaffold.make_kernel()
+    entry = kernel.fs.get("/old.txt")
+    assert entry is not None and bytes(entry.data) == b"A" * len(b"alpha\n")
