@@ -33,12 +33,23 @@ from repro.core.results import (
 from repro.environment import Environment, simple_environment
 from repro.instrument.methods import InstrumentationMethod
 from repro.instrument.plan import InstrumentationPlan
+from repro.trace import (
+    EnvironmentSpec,
+    Trace,
+    TraceError,
+    TraceFingerprintMismatch,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+    trace_from_recording,
+)
 
 __all__ = [
     "AnalysisResult",
     "BranchLoggingStats",
     "ConcolicBudget",
     "Environment",
+    "EnvironmentSpec",
     "InstrumentationMethod",
     "InstrumentationPlan",
     "InstrumentationReport",
@@ -47,7 +58,14 @@ __all__ = [
     "RecordingResult",
     "ReplayBudget",
     "ReplayReport",
+    "Trace",
+    "TraceError",
+    "TraceFingerprintMismatch",
+    "TraceFormatError",
+    "load_trace",
+    "save_trace",
     "simple_environment",
+    "trace_from_recording",
 ]
 
 __version__ = "0.1.0"

@@ -36,10 +36,18 @@ class PipelineConfig:
     # Execution engine used by every stage (record, replay, analysis):
     # "interp" (tree-walking interpreter) or "vm" (bytecode VM).
     backend: str = "interp"
-    # Worker threads for the replay engine's pending-list search.  Results
-    # commit in serial pop order, so any worker count explores the identical
-    # run set; >1 merely overlaps speculative evaluations.
+    # Workers for the replay engine's pending-list search.  Results commit in
+    # serial pop order, so any worker count (and either worker kind) explores
+    # the identical run set; >1 merely overlaps speculative evaluations.
+    # ``replay_worker_kind`` picks the pool: "thread" (cheap, GIL-bound) or
+    # "process" (each worker rebuilds the engine from a pickled spec and runs
+    # in its own interpreter — real multi-core scaling).
     replay_workers: int = 1
+    replay_worker_kind: str = "thread"
+    # Seed each pending item's search from the parent run's satisfying
+    # assignment; skips the solver whenever flipping one branch only moves
+    # one input variable (see repro.symbolic.solver.warm_start_assignment).
+    replay_warm_start: bool = True
     # Let the VM backend run plan-specialized bytecode (BRANCH_LOGGED /
     # BRANCH_BARE instead of hook-dispatched BRANCH) during record and replay.
     specialize_plans: bool = True

@@ -218,11 +218,64 @@ class Pipeline:
             search_order=search_order or self.config.replay_search_order,
             backend=self.config.backend,
             workers=self.config.replay_workers,
+            worker_kind=self.config.replay_worker_kind,
             specialize_plans=self.config.specialize_plans,
+            warm_start=self.config.replay_warm_start,
         )
         outcome = engine.reproduce()
         return ReplayReport(method=recording.plan.method, outcome=outcome,
                             scenario=scenario or recording.environment.name)
+
+    # -- trace persistence (the user/developer split) -----------------------------------------
+
+    def record_trace(self, plan: InstrumentationPlan, environment: Environment,
+                     path: str, scaffold: bool = True) -> RecordingResult:
+        """Record at the simulated user site and persist the bug report.
+
+        The file written to *path* is everything the paper's user machine
+        ships to the developer: bitvector, selected syscall results, crash
+        site and the structural input scaffold (with ``scaffold=True``, the
+        default, the user's data is blanked out before it is serialized).
+        """
+
+        from repro.trace import save_trace, trace_from_recording
+
+        recording = self.record(plan, environment)
+        trace = trace_from_recording(recording, scaffold=scaffold,
+                                     program_name=self.program.name)
+        save_trace(path, trace)
+        return recording
+
+    def reproduce_from_trace(self, trace_or_path, budget: Optional[ReplayBudget] = None,
+                             scenario: str = "",
+                             expect_plan: Optional[InstrumentationPlan] = None,
+                             search_order: Optional[str] = None) -> ReplayReport:
+        """Reproduce a crash from a persisted trace (the developer site).
+
+        Accepts a path or an already-loaded :class:`~repro.trace.Trace`.  The
+        matched-binaries assumption is enforced: a trace whose plan
+        fingerprint disagrees with *expect_plan* (or whose instrumented
+        locations this pipeline's program does not have) is rejected with
+        :class:`~repro.trace.TraceFingerprintMismatch`.
+        """
+
+        from repro.trace import Trace, load_trace
+
+        trace = (trace_or_path if isinstance(trace_or_path, Trace)
+                 else load_trace(trace_or_path))
+        engine = ReplayEngine.from_trace(
+            self.program, trace, expect_plan=expect_plan,
+            budget=budget or self.config.replay_budget,
+            search_order=search_order or self.config.replay_search_order,
+            backend=self.config.backend,
+            workers=self.config.replay_workers,
+            worker_kind=self.config.replay_worker_kind,
+            specialize_plans=self.config.specialize_plans,
+            warm_start=self.config.replay_warm_start,
+        )
+        outcome = engine.reproduce()
+        return ReplayReport(method=trace.plan.method, outcome=outcome,
+                            scenario=scenario or trace.scenario)
 
     # -- derived statistics (Tables 4, 7, 8) --------------------------------------------------------------
 

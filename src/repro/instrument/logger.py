@@ -68,6 +68,25 @@ class BitvectorLog:
             log.append(bool(bit))
         return log
 
+    @classmethod
+    def from_bytes(cls, data: bytes, bit_count: int) -> "BitvectorLog":
+        """Inverse of :meth:`to_bytes`: unpack *bit_count* LSB-first bits.
+
+        Rebuilds the flush count the way :meth:`append` would have, so a
+        round-tripped log is indistinguishable from the original (the trace
+        serializer and the process-pool replay workers rely on this).
+        """
+
+        if bit_count > len(data) * 8:
+            raise ValueError(
+                f"bitvector payload too short: {len(data)} bytes cannot hold "
+                f"{bit_count} bits")
+        log = cls()
+        log.bits = [bool(data[index // 8] & (1 << (index % 8)))
+                    for index in range(bit_count)]
+        log.flushes = bit_count // (LOG_BUFFER_BYTES * 8)
+        return log
+
 
 @dataclass
 class SyscallResultLog:
@@ -93,6 +112,22 @@ class SyscallResultLog:
 
     def cursor(self) -> "SyscallLogCursor":
         return SyscallLogCursor(self)
+
+    def to_payload(self) -> Dict[str, List[int]]:
+        """Plain ``{kind name: [results]}`` map for serialization."""
+
+        return {kind.value: list(values) for kind, values in self.results.items()}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, List[int]],
+                     logged_kinds: Optional[Sequence[str]] = None) -> "SyscallResultLog":
+        """Inverse of :meth:`to_payload` (kind names back to ``SyscallKind``)."""
+
+        log = cls(results={SyscallKind(name): list(values)
+                           for name, values in payload.items()})
+        if logged_kinds is not None:
+            log.logged_kinds = frozenset(SyscallKind(name) for name in logged_kinds)
+        return log
 
 
 class SyscallLogCursor:

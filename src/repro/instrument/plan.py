@@ -68,6 +68,40 @@ class InstrumentationPlan:
             return 0.0
         return len(self.instrumented) / len(self.all_locations)
 
+    # -- serialization ----------------------------------------------------------------
+
+    def location_tuples(self) -> Dict[str, List[tuple]]:
+        """The plan's branch sets as sorted plain tuples (for the trace format).
+
+        Each location becomes ``(function, node_id, line, kind)``; sorting makes
+        the serialized form canonical for a given plan (the sets are frozen, so
+        iteration order is arbitrary).
+        """
+
+        def rows(locations: Iterable[BranchLocation]) -> List[tuple]:
+            return [(loc.function, loc.node_id, loc.line, loc.kind)
+                    for loc in sorted(locations)]
+
+        return {"instrumented": rows(self.instrumented),
+                "all_locations": rows(self.all_locations)}
+
+    @classmethod
+    def from_location_tuples(cls, method: str, instrumented: Iterable[tuple],
+                             all_locations: Iterable[tuple],
+                             log_syscalls: bool = True) -> "InstrumentationPlan":
+        """Rebuild a plan from :meth:`location_tuples` rows.
+
+        The rebuilt plan has the same :meth:`fingerprint` as the original;
+        ``analysis_metadata`` is not serialized (it never affects replay).
+        """
+
+        def build(rows: Iterable[tuple]) -> FrozenSet[BranchLocation]:
+            return frozenset(BranchLocation(function=f, node_id=n, line=l, kind=k)
+                             for f, n, l, k in rows)
+
+        return cls(method=method, instrumented=build(instrumented),
+                   all_locations=build(all_locations), log_syscalls=log_syscalls)
+
     def without_syscall_logging(self) -> "InstrumentationPlan":
         """The same branch set, but with syscall-result logging disabled."""
 

@@ -21,7 +21,13 @@ def _next_node_id() -> int:
 
 
 def reset_node_ids() -> None:
-    """Reset the global node-id counter (used only by tests for determinism)."""
+    """Restart the global node-id counter at 1.
+
+    Called by :func:`repro.lang.parser.parse_program` (under its parse lock)
+    before every parse, so node ids — and the branch-location identities and
+    plan fingerprints derived from them — are a pure function of the source
+    text.  The trace format's matched-binaries check depends on this.
+    """
 
     global _NODE_COUNTER
     _NODE_COUNTER = itertools.count(1)

@@ -16,6 +16,7 @@ an event-driven web server):
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional
 
 from repro.lang.ast_nodes import (
@@ -47,6 +48,7 @@ from repro.lang.ast_nodes import (
     UnaryOp,
     VarDecl,
     WhileStmt,
+    reset_node_ids,
 )
 from repro.lang.errors import ParseError
 from repro.lang.lexer import Token, TokenType, tokenize
@@ -448,7 +450,23 @@ class Parser:
         raise self._error("expected expression")
 
 
-def parse_program(source: str) -> TranslationUnit:
-    """Lex and parse *source*, returning the :class:`TranslationUnit` root."""
+#: Node ids come from a process-global counter, so concurrent parses would
+#: interleave their id sequences; the lock keeps each parse atomic.
+_PARSE_LOCK = threading.Lock()
 
-    return Parser(tokenize(source)).parse()
+
+def parse_program(source: str) -> TranslationUnit:
+    """Lex and parse *source*, returning the :class:`TranslationUnit` root.
+
+    Node ids restart at 1 for every parse, which makes them (and with them
+    every :class:`~repro.lang.cfg.BranchLocation`) a pure function of the
+    source text: two parses of the same program — in this process, in a
+    replay worker process, or on the developer machine loading a trace file
+    recorded elsewhere — agree on all branch identities.  The trace format's
+    matched-binaries check relies on this, so parses are serialized under a
+    lock (parsing happens at pipeline setup, never on the replay hot path).
+    """
+
+    with _PARSE_LOCK:
+        reset_node_ids()
+        return Parser(tokenize(source)).parse()

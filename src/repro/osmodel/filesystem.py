@@ -121,3 +121,13 @@ class FileSystem:
         """Path -> content map, used by tests to assert program effects."""
 
         return {path: entry.data for path, entry in self._entries.items()}
+
+    def entries(self) -> List[SimulatedFile]:
+        """Every entry except the implicit root, in insertion order.
+
+        Unlike :meth:`snapshot` this keeps the entry *kind* (file, dir, fifo,
+        node) and mode, which the trace serializer needs to rebuild a
+        behaviourally identical filesystem in another process.
+        """
+
+        return [entry for path, entry in self._entries.items() if path != "/"]

@@ -9,25 +9,36 @@ run crashes at the recorded crash site; the input assignment of that run is
 the "set of inputs that activate the bug" the paper promises the developer.
 
 **Parallel search.**  With ``workers > 1`` the engine evaluates pending items
-on a pool of threads, each thread running its own backend instance (kernel,
-binder and hooks are per-run; compiled bytecode is immutable and shared).
-Evaluating an item — solve its constraint set, run the program, collect the
-run's alternatives — is a pure function of the item, so workers *speculate*
-on the items at the head of the pending list while the engine commits results
-strictly in the serial pop order.  The committed sequence of runs, the pushed
-alternatives, the solver-call and run counters, and the explored pending set
-are therefore byte-identical to the serial engine's; speculation only changes
-wall-clock time.  (Under CPython's GIL almost every speculated item is later
-committed from cache, so the wasted work is bounded by the items still
-pending when the search stops.)
+on a pool of workers.  Evaluating an item — solve its constraint set, run the
+program, collect the run's alternatives — is a pure function of the item and
+the recording, so workers *speculate* on the items at the head of the pending
+list while the engine commits results strictly in the serial pop order.  The
+committed sequence of runs, the pushed alternatives, the solver-call and run
+counters, and the explored pending set are therefore byte-identical to the
+serial engine's; speculation only changes wall-clock time.
+
+Two worker kinds share that commit discipline:
+
+* ``worker_kind="thread"`` — a :class:`ThreadPoolExecutor`.  Cheap to spin
+  up, but CPython's GIL serializes the actual interpretation, so the win is
+  bounded (overlap of the small C-level portions).
+* ``worker_kind="process"`` — a :class:`ProcessPoolExecutor`.  Each worker
+  process rebuilds the engine from a pickled :class:`_EngineSpec` (program,
+  plan, recorded logs, environment spec) and evaluates items in its own
+  interpreter, so the search scales with cores.  Everything that crosses the
+  process boundary — pending items in, :class:`_ItemEvaluation` summaries out
+  — is plain picklable data, and the evaluation summaries are *distilled*
+  (classification string, assignment, alternatives, counters) rather than
+  live hook/interpreter state, which keeps the pickle payload small and the
+  commit path identical for every worker kind.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.environment import Environment
 from repro.instrument.logger import BitvectorLog, SyscallResultLog
@@ -45,7 +56,10 @@ from repro.replay.budget import ReplayBudget
 from repro.replay.hooks import ReplayRunHooks
 from repro.replay.pending import PendingItem, PendingList
 from repro.symbolic.constraints import ConstraintSet
-from repro.symbolic.solver import solve
+from repro.symbolic.solver import solve, warm_start_assignment
+from repro.vm import compiler as vm_compiler
+
+WORKER_KINDS = ("thread", "process")
 
 
 @dataclass
@@ -72,8 +86,18 @@ class ReplayOutcome:
     solver_calls: int = 0
     pending_stats: Dict[str, int] = field(default_factory=dict)
     run_records: List[ReplayRunRecord] = field(default_factory=list)
+    # Aggregated worker-side counters.  All of these fold in *committed*
+    # evaluations only, so they are identical for workers=1, thread workers
+    # and process workers (compile-cache hits/misses additionally depend on
+    # per-process cache warmth — see ``compile_cache_lookups`` below for the
+    # mode-independent total).
+    warm_start_hits: int = 0
+    solver_nodes: int = 0
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
     # Parallel-search telemetry (never part of the explored-set identity).
     workers: int = 1
+    worker_kind: str = "thread"
     speculated_items: int = 0
     speculation_hits: int = 0
     symbolic_logged_locations: int = 0
@@ -87,6 +111,34 @@ class ReplayOutcome:
 
         return self.wall_seconds
 
+    @property
+    def compile_cache_lookups(self) -> int:
+        """Compiled-code cache lookups by committed runs (hits + misses).
+
+        Unlike the hit/miss split — every worker process warms its own cache,
+        so process workers report more misses than a serial search — the
+        lookup total is a pure function of the committed run sequence and is
+        byte-identical across worker counts and kinds.
+        """
+
+        return self.compile_cache_hits + self.compile_cache_misses
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregated counters, one flat map (cross-process observability)."""
+
+        return {
+            "runs": self.runs,
+            "solver_calls": self.solver_calls,
+            "solver_nodes": self.solver_nodes,
+            "warm_start_hits": self.warm_start_hits,
+            "compile_cache_lookups": self.compile_cache_lookups,
+            "compile_cache_hits": self.compile_cache_hits,
+            "compile_cache_misses": self.compile_cache_misses,
+            "speculated_items": self.speculated_items,
+            "speculation_hits": self.speculation_hits,
+            "workers": self.workers,
+        }
+
     def summary(self) -> str:
         status = "reproduced" if self.reproduced else (
             "timed out" if self.timed_out else "not reproduced")
@@ -96,12 +148,88 @@ class ReplayOutcome:
 
 @dataclass
 class _ItemEvaluation:
-    """The outcome of evaluating one pending item (a pure function of it)."""
+    """The distilled outcome of evaluating one pending item.
+
+    A pure function of the item and the recording, and **plain picklable
+    data**: process workers return exactly this object, and the engine's
+    commit path cannot tell (or care) where an evaluation was computed.
+    """
 
     solver_calls: int
-    hooks: Optional[ReplayRunHooks]
-    result: Optional[object]
-    binder: Optional[InputBinder]
+    ran: bool = False
+    outcome: str = ""
+    consumed_bits: int = 0
+    constraints: int = 0
+    deviation: str = ""
+    assignment: Dict[str, int] = field(default_factory=dict)
+    alternatives: List[Tuple[ConstraintSet, str]] = field(default_factory=list)
+    crash: Optional[CrashSite] = None
+    symbolic_logged_locations: int = 0
+    symbolic_logged_executions: int = 0
+    symbolic_not_logged_locations: int = 0
+    symbolic_not_logged_executions: int = 0
+    warm_start: bool = False
+    solver_nodes: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+@dataclass
+class _EngineSpec:
+    """A picklable recipe for rebuilding a serial engine in a worker process.
+
+    The recorded bitvector travels packed (``BitvectorLog.to_bytes``), the
+    environment as a :class:`~repro.trace.EnvironmentSpec`, and the program as
+    a cache-stripped clone (compiled-code caches are per-process anyway); the
+    plan keeps its branch sets but drops analysis metadata.
+    """
+
+    program: Program
+    plan: InstrumentationPlan
+    bits: bytes
+    bit_count: int
+    syscall_log: Optional[SyscallResultLog]
+    crash_site: Optional[CrashSite]
+    environment_spec: "object"  # EnvironmentSpec (import cycle avoided)
+    budget: ReplayBudget
+    search_order: str
+    require_full_log_match: bool
+    backend: str
+    specialize_plans: bool
+    warm_start: bool
+
+    def build_engine(self) -> "ReplayEngine":
+        return ReplayEngine(
+            program=self.program,
+            plan=self.plan,
+            bitvector=BitvectorLog.from_bytes(self.bits, self.bit_count),
+            syscall_log=self.syscall_log,
+            crash_site=self.crash_site,
+            environment=self.environment_spec.to_environment(),
+            budget=self.budget,
+            search_order=self.search_order,
+            require_full_log_match=self.require_full_log_match,
+            backend=self.backend,
+            workers=1,
+            specialize_plans=self.specialize_plans,
+            warm_start=self.warm_start,
+        )
+
+
+#: The per-process engine a pool worker evaluates items against.  Set once by
+#: the pool initializer; worker processes are single-threaded, so a plain
+#: global is safe.
+_WORKER_ENGINE: Optional["ReplayEngine"] = None
+
+
+def _process_worker_init(spec: _EngineSpec) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = spec.build_engine()
+
+
+def _process_worker_evaluate(item: PendingItem) -> _ItemEvaluation:
+    assert _WORKER_ENGINE is not None, "worker used before initialization"
+    return _WORKER_ENGINE._evaluate_item(item)
 
 
 class ReplayEngine:
@@ -117,7 +245,11 @@ class ReplayEngine:
                  require_full_log_match: bool = True,
                  backend: str = "interp",
                  workers: int = 1,
-                 specialize_plans: bool = True) -> None:
+                 worker_kind: str = "thread",
+                 specialize_plans: bool = True,
+                 warm_start: bool = True) -> None:
+        if worker_kind not in WORKER_KINDS:
+            raise ValueError(f"worker_kind must be one of {WORKER_KINDS}")
         self.program = program
         self.plan = plan
         self.bitvector = bitvector
@@ -128,7 +260,9 @@ class ReplayEngine:
         self.search_order = search_order
         self.backend = backend
         self.workers = max(1, int(workers))
+        self.worker_kind = worker_kind
         self.specialize_plans = specialize_plans
+        self.warm_start = warm_start
         # When True (the default), a run only counts as a reproduction if it
         # crashes at the recorded site *and* its instrumented branch directions
         # match the recorded bitvector exactly.  This is what "finding the
@@ -137,13 +271,47 @@ class ReplayEngine:
         # scenarios), where the crash location alone carries no information.
         self.require_full_log_match = require_full_log_match
 
+    # -- construction from a persisted trace ------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, program: Program, trace, *,
+                   expect_plan: Optional[InstrumentationPlan] = None,
+                   **kwargs) -> "ReplayEngine":
+        """Build an engine from a loaded :class:`~repro.trace.Trace`.
+
+        This is the developer half of the paper's user/developer split: the
+        trace carries the recording and the input scaffold; *program* is the
+        developer's copy of the binary.  The matched-binaries assumption is
+        enforced twice — against *expect_plan* when the caller supplies the
+        plan their build uses, and always against the program's own branch
+        locations (a trace recorded from a different program cannot line up).
+        """
+
+        from repro.trace import TraceFingerprintMismatch, verify_fingerprint
+
+        if expect_plan is not None:
+            verify_fingerprint(trace, expect_plan)
+        known = set(program.branch_locations)
+        unknown = [loc for loc in sorted(trace.plan.instrumented)
+                   if loc not in known]
+        if unknown:
+            raise TraceFingerprintMismatch(
+                "trace instruments branch locations this program does not "
+                f"have (first few: {[loc.short() for loc in unknown[:3]]}); "
+                "record and replay must use matched binaries")
+        return cls(program=program, plan=trace.plan, bitvector=trace.bitvector,
+                   syscall_log=trace.syscall_log if trace.plan.log_syscalls else None,
+                   crash_site=trace.crash_site, environment=trace.environment(),
+                   **kwargs)
+
     # -- public API -----------------------------------------------------------------------
 
     def reproduce(self) -> ReplayOutcome:
         """Run the guided search until the bug is reproduced or the budget ends."""
 
         start = time.monotonic()
-        outcome = ReplayOutcome(reproduced=False, workers=self.workers)
+        outcome = ReplayOutcome(reproduced=False, workers=self.workers,
+                                worker_kind=self.worker_kind)
         pending = PendingList(order=self.search_order, max_size=self.budget.max_pending)
         pending.push(PendingItem(ConstraintSet(), hint={}, reason="initial run"))
         if self.workers > 1:
@@ -166,6 +334,50 @@ class ReplayEngine:
             if self._commit(outcome, pending, self._evaluate_item(item)):
                 break
 
+    def _make_pool(self) -> Tuple[object, Callable[[PendingItem], "object"]]:
+        """The executor plus an item-submission closure for the worker kind."""
+
+        if self.worker_kind == "process":
+            pool = ProcessPoolExecutor(max_workers=self.workers,
+                                       initializer=_process_worker_init,
+                                       initargs=(self._engine_spec(),))
+            return pool, lambda item: pool.submit(_process_worker_evaluate, item)
+        pool = ThreadPoolExecutor(max_workers=self.workers,
+                                  thread_name_prefix="replay-worker")
+        return pool, lambda item: pool.submit(self._evaluate_item, item)
+
+    def _engine_spec(self) -> _EngineSpec:
+        from repro.trace import EnvironmentSpec
+
+        # A fresh Program instance carries only the dataclass fields: the
+        # per-plan compiled-code cache (and any other derived attributes
+        # stashed on the original) stay home instead of being pickled.
+        program = Program(source=self.program.source, unit=self.program.unit,
+                          name=self.program.name,
+                          functions=dict(self.program.functions),
+                          cfgs=dict(self.program.cfgs),
+                          branch_locations=list(self.program.branch_locations),
+                          library_functions=set(self.program.library_functions))
+        plan = InstrumentationPlan(method=self.plan.method,
+                                   instrumented=self.plan.instrumented,
+                                   all_locations=self.plan.all_locations,
+                                   log_syscalls=self.plan.log_syscalls)
+        return _EngineSpec(
+            program=program,
+            plan=plan,
+            bits=self.bitvector.to_bytes(),
+            bit_count=len(self.bitvector),
+            syscall_log=self.syscall_log,
+            crash_site=self.crash_site,
+            environment_spec=EnvironmentSpec.capture(self.environment),
+            budget=self.budget,
+            search_order=self.search_order,
+            require_full_log_match=self.require_full_log_match,
+            backend=self.backend,
+            specialize_plans=self.specialize_plans,
+            warm_start=self.warm_start,
+        )
+
     def _search_parallel(self, outcome: ReplayOutcome, pending: PendingList,
                          start: float) -> None:
         """Speculative search: workers race ahead, commits follow serial order.
@@ -177,8 +389,7 @@ class ReplayEngine:
         """
 
         inflight: Dict[int, Tuple[PendingItem, object]] = {}
-        pool = ThreadPoolExecutor(max_workers=self.workers,
-                                  thread_name_prefix="replay-worker")
+        pool, submit = self._make_pool()
         try:
             while not self._budget_exhausted(outcome, start):
                 item = pending.pop()
@@ -189,19 +400,20 @@ class ReplayEngine:
                     outcome.speculation_hits += 1
                     future = entry[1]
                 else:
-                    future = pool.submit(self._evaluate_item, item)
+                    future = submit(item)
                 # Keep idle workers busy on the likely-next items while the
                 # committing thread waits for this one.
-                self._speculate(pool, pending, inflight, outcome)
+                self._speculate(submit, pending, inflight, outcome)
                 if self._commit(outcome, pending, future.result()):
                     break
         finally:
             # Drop anything still queued, but wait for the runs already
-            # executing: reproduce() must not leak worker threads that keep
-            # burning CPU (and reading engine/solver state) after it returns.
+            # executing: reproduce() must not leak workers that keep burning
+            # CPU (and, for threads, reading engine state) after it returns.
             pool.shutdown(wait=True, cancel_futures=True)
 
-    def _speculate(self, pool: ThreadPoolExecutor, pending: PendingList,
+    def _speculate(self, submit: Callable[[PendingItem], "object"],
+                   pending: PendingList,
                    inflight: Dict[int, Tuple[PendingItem, object]],
                    outcome: ReplayOutcome) -> None:
         # Keep a small backlog beyond the worker count so a fast worker always
@@ -219,17 +431,16 @@ class ReplayEngine:
                 key = id(candidate)
                 if key in inflight:
                     continue
-                inflight[key] = (candidate,
-                                 pool.submit(self._evaluate_item, candidate))
+                inflight[key] = (candidate, submit(candidate))
                 outcome.speculated_items += 1
                 active += 1
                 if active >= cap:
                     break
         # Bound the completed-results cache: under DFS fresh alternatives
-        # overtake earlier speculations, whose finished evaluations (full run
-        # state each) would otherwise stay pinned until their item is popped
-        # — possibly for the whole search.  Evicting a done entry is safe:
-        # _evaluate_item is pure, so a later pop just recomputes it.
+        # overtake earlier speculations, whose finished evaluations would
+        # otherwise stay pinned until their item is popped — possibly for the
+        # whole search.  Evicting a done entry is safe: _evaluate_item is
+        # pure, so a later pop just recomputes it.
         retain = max(32, self.workers * 8)
         if len(inflight) > retain:
             keep = {id(item) for item in pending.peek(retain)}
@@ -249,44 +460,84 @@ class ReplayEngine:
     # -- internals --------------------------------------------------------------------------
 
     def _evaluate_item(self, item: PendingItem) -> _ItemEvaluation:
-        """Solve and run one pending item — pure, safe to run on any thread."""
+        """Solve and run one pending item — pure, safe for any worker."""
 
+        with vm_compiler.cache_scope() as cache_events:
+            evaluation = self._evaluate_inner(item)
+        evaluation.cache_hits = cache_events["hits"]
+        evaluation.cache_misses = cache_events["misses"]
+        return evaluation
+
+    def _evaluate_inner(self, item: PendingItem) -> _ItemEvaluation:
+        solver_calls = 0
+        solver_nodes = 0
+        warm = False
         if len(item.constraints) == 0:
             overrides = dict(item.hint)
-            solver_calls = 0
         else:
-            solution = solve(item.constraints, hint=item.hint)
-            solver_calls = 1
-            if not solution.satisfiable or solution.assignment is None:
-                return _ItemEvaluation(solver_calls, None, None, None)
-            overrides = dict(item.hint)
-            overrides.update(solution.assignment)
+            overrides = None
+            if self.warm_start:
+                overrides = warm_start_assignment(item.constraints, item.hint)
+                warm = overrides is not None
+            if overrides is None:
+                solution = solve(item.constraints, hint=item.hint)
+                solver_calls = 1
+                solver_nodes = solution.stats.nodes
+                if not solution.satisfiable or solution.assignment is None:
+                    return _ItemEvaluation(solver_calls=solver_calls,
+                                           solver_nodes=solver_nodes)
+                overrides = dict(item.hint)
+                overrides.update(solution.assignment)
         hooks, result, binder = self._run_once(overrides)
-        return _ItemEvaluation(solver_calls, hooks, result, binder)
+        logged_locs, logged_execs, unlogged_locs, unlogged_execs = hooks.symbolic_counts()
+        return _ItemEvaluation(
+            solver_calls=solver_calls,
+            ran=True,
+            outcome=self._classify_outcome(hooks, result),
+            consumed_bits=hooks.consumed_bits(),
+            constraints=len(hooks.run_constraints),
+            deviation=hooks.deviation.kind if hooks.deviation else "",
+            assignment=binder.assignment(),
+            alternatives=list(hooks.alternatives),
+            crash=result.crash,
+            symbolic_logged_locations=logged_locs,
+            symbolic_logged_executions=logged_execs,
+            symbolic_not_logged_locations=unlogged_locs,
+            symbolic_not_logged_executions=unlogged_execs,
+            warm_start=warm,
+            solver_nodes=solver_nodes,
+        )
 
     def _commit(self, outcome: ReplayOutcome, pending: PendingList,
                 evaluation: _ItemEvaluation) -> bool:
         """Fold one evaluation into the outcome; True ends the search."""
 
         outcome.solver_calls += evaluation.solver_calls
-        if evaluation.hooks is None:
+        outcome.solver_nodes += evaluation.solver_nodes
+        outcome.warm_start_hits += 1 if evaluation.warm_start else 0
+        outcome.compile_cache_hits += evaluation.cache_hits
+        outcome.compile_cache_misses += evaluation.cache_misses
+        if not evaluation.ran:
             return False  # unsatisfiable constraint set: no run happened
-        hooks, result, binder = evaluation.hooks, evaluation.result, evaluation.binder
-        record = self._classify_run(outcome.runs, hooks, result)
+        record = ReplayRunRecord(index=outcome.runs,
+                                 outcome=evaluation.outcome,
+                                 consumed_bits=evaluation.consumed_bits,
+                                 constraints=evaluation.constraints,
+                                 deviation=evaluation.deviation)
         outcome.runs += 1
         outcome.run_records.append(record)
-        self._update_not_logged(outcome, hooks)
+        self._update_not_logged(outcome, evaluation)
 
         if record.outcome == "reproduced":
             outcome.reproduced = True
-            outcome.crash_site = result.crash
-            outcome.found_input = binder.assignment()
+            outcome.crash_site = evaluation.crash
+            outcome.found_input = dict(evaluation.assignment)
             return True
 
         # Merge the alternatives this run discovered.
-        for constraints, reason in hooks.alternatives:
+        for constraints, reason in evaluation.alternatives:
             pending.push(PendingItem(constraints=constraints,
-                                     hint=binder.assignment(),
+                                     hint=dict(evaluation.assignment),
                                      depth=len(constraints),
                                      origin_run=outcome.runs,
                                      reason=reason))
@@ -299,8 +550,8 @@ class ReplayEngine:
         provider = None
         if self.plan.log_syscalls and self.syscall_log is not None:
             cursor = self.syscall_log.cursor()
-            # Kept for _classify_run: a full-log-match reproduction must also
-            # have consumed the recorded syscall results completely.
+            # Kept for _classify_outcome: a full-log-match reproduction must
+            # also have consumed the recorded syscall results completely.
             hooks.syscall_cursor = cursor
 
             def provider(kind: SyscallKind, _cursor=cursor) -> Optional[int]:
@@ -316,29 +567,22 @@ class ReplayEngine:
         result = executor.run(self.environment.argv)
         return hooks, result, binder
 
-    def _classify_run(self, index: int, hooks: ReplayRunHooks,
-                      result: ExecutionResult) -> ReplayRunRecord:
-        deviation = hooks.deviation.kind if hooks.deviation else ""
+    def _classify_outcome(self, hooks: ReplayRunHooks,
+                          result: ExecutionResult) -> str:
         if result.aborted:
-            outcome = "aborted"
-        elif result.step_limit_hit:
-            outcome = "step-limit"
-        elif result.crashed and self._matches_crash(result):
+            return "aborted"
+        if result.step_limit_hit:
+            return "step-limit"
+        if result.crashed and self._matches_crash(result):
             full_match = (hooks.deviation is None
                           and hooks.consumed_bits() == len(self.bitvector)
                           and self._syscall_log_consumed(hooks))
             if full_match or not self.require_full_log_match:
-                outcome = "reproduced"
-            else:
-                outcome = "crashed-partial-match"
-        elif result.crashed:
-            outcome = "crashed-elsewhere"
-        else:
-            outcome = "finished"
-        return ReplayRunRecord(index=index, outcome=outcome,
-                               consumed_bits=hooks.consumed_bits(),
-                               constraints=len(hooks.run_constraints),
-                               deviation=deviation)
+                return "reproduced"
+            return "crashed-partial-match"
+        if result.crashed:
+            return "crashed-elsewhere"
+        return "finished"
 
     def _syscall_log_consumed(self, hooks: ReplayRunHooks) -> bool:
         """Did the run replay every recorded syscall result?
@@ -364,12 +608,17 @@ class ReplayEngine:
         return result.crash.same_location(self.crash_site)
 
     @staticmethod
-    def _update_not_logged(outcome: ReplayOutcome, hooks: ReplayRunHooks) -> None:
-        outcome.symbolic_logged_locations = max(outcome.symbolic_logged_locations,
-                                                len(hooks.symbolic_logged))
-        outcome.symbolic_logged_executions = max(outcome.symbolic_logged_executions,
-                                                 sum(hooks.symbolic_logged.values()))
-        outcome.symbolic_not_logged_locations = max(outcome.symbolic_not_logged_locations,
-                                                    len(hooks.symbolic_not_logged))
-        outcome.symbolic_not_logged_executions = max(outcome.symbolic_not_logged_executions,
-                                                     sum(hooks.symbolic_not_logged.values()))
+    def _update_not_logged(outcome: ReplayOutcome,
+                           evaluation: _ItemEvaluation) -> None:
+        outcome.symbolic_logged_locations = max(
+            outcome.symbolic_logged_locations,
+            evaluation.symbolic_logged_locations)
+        outcome.symbolic_logged_executions = max(
+            outcome.symbolic_logged_executions,
+            evaluation.symbolic_logged_executions)
+        outcome.symbolic_not_logged_locations = max(
+            outcome.symbolic_not_logged_locations,
+            evaluation.symbolic_not_logged_locations)
+        outcome.symbolic_not_logged_executions = max(
+            outcome.symbolic_not_logged_executions,
+            evaluation.symbolic_not_logged_executions)

@@ -185,6 +185,17 @@ class ReplayRunHooks(ExecutionHooks):
     def consumed_bits(self) -> int:
         return self.cursor
 
+    def symbolic_counts(self) -> tuple:
+        """``(logged locations, logged execs, unlogged locations, unlogged execs)``.
+
+        The distilled per-run numbers the engine folds into its outcome; plain
+        ints so a worker process can ship them home without pickling the
+        per-location dictionaries.
+        """
+
+        return (len(self.symbolic_logged), sum(self.symbolic_logged.values()),
+                len(self.symbolic_not_logged), sum(self.symbolic_not_logged.values()))
+
     def not_logged_summary(self) -> Dict[str, int]:
         return {
             "locations": len(self.symbolic_not_logged),

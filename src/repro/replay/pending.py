@@ -18,7 +18,14 @@ from repro.symbolic.constraints import ConstraintSet
 
 @dataclass
 class PendingItem:
-    """One unexplored alternative path."""
+    """One unexplored alternative path.
+
+    Items are plain data end to end — constraint sets, hint assignments,
+    bookkeeping ints — so they pickle: the process-pool replay workers
+    receive the exact item the engine popped, and the alternatives they send
+    back re-enter the pending list indistinguishable from locally produced
+    ones (the dedup signature below is structural, not identity-based).
+    """
 
     constraints: ConstraintSet
     hint: Dict[str, int] = field(default_factory=dict)
@@ -27,7 +34,7 @@ class PendingItem:
     reason: str = ""
 
     def signature(self) -> Tuple:
-        return tuple((c.origin, str(c.expr)) for c in self.constraints)
+        return self.constraints.signature()
 
 
 class PendingList:

@@ -78,6 +78,24 @@ class ConstraintSet:
     def constraints(self) -> Tuple[Constraint, ...]:
         return tuple(self._constraints)
 
+    def signature(self) -> Tuple[Tuple[int, str], ...]:
+        """A stable structural identity of the conjunction.
+
+        ``(origin, rendered expression)`` per constraint, in order.  The
+        rendering is purely structural, so the signature survives pickling —
+        a pending item shipped to a replay worker process and back
+        deduplicates exactly like one that never left the engine.  Cached per
+        length: the set is append-only, so the length identifies its content
+        for any one instance.
+        """
+
+        cached = getattr(self, "_signature", None)
+        if cached is None or cached[0] != len(self._constraints):
+            signature = tuple((c.origin, str(c.expr)) for c in self._constraints)
+            cached = (len(self._constraints), signature)
+            self._signature = cached
+        return cached[1]
+
     def expressions(self) -> List[SymExpr]:
         return [c.expr for c in self._constraints]
 

@@ -401,6 +401,94 @@ class _LegacySearch(_Search):
         return None
 
 
+def warm_start_assignment(constraint_set: ConstraintSet,
+                          hint: Mapping[str, int]) -> Optional[Dict[str, int]]:
+    """Satisfy *constraint_set* by changing at most one variable of *hint*.
+
+    The replay engine's pending items differ from their parent run in exactly
+    one flipped branch condition, and the parent's concrete input (the hint)
+    satisfies every other constraint.  When the constraints touched by the
+    flip are *unary* — one input byte compared against constants, the dominant
+    shape in the uServer/coreutils parsers — the full backtracking search is
+    overkill: enumerate that variable's filtered domain and keep the hint for
+    everything else.
+
+    Correctness contract: the returned assignment is **exactly** the one
+    :func:`solve` would produce for the same set and hint (the search prefers
+    hint values and orders candidates identically), so an engine using the
+    warm start explores a byte-identical search tree and merely skips solver
+    calls; ``None`` means "cannot guarantee that here, run the real solver".
+    The differential test in ``tests/test_process_replay.py`` enforces the
+    contract on randomized constraint sets.
+    """
+
+    if not hint:
+        return None
+
+    simplified: List[SymExpr] = []
+    for constraint in constraint_set:
+        expr = simplify(constraint.expr)
+        if expr == sym_const(0):
+            return None  # unsatisfiable: let solve() report it
+        if expr == sym_const(1):
+            continue
+        simplified.append(expr)
+    if not simplified:
+        return None  # solve()'s trivial path is already cheap
+
+    # Domains come from the *unsimplified* constraints, exactly like solve():
+    # a variable that simplifies away still receives a value there.
+    all_vars: Dict[str, SymVar] = {}
+    for constraint in constraint_set:
+        for var in variables(constraint.expr):
+            all_vars.setdefault(var.name, var)
+    for name, var in all_vars.items():
+        if name not in hint:
+            return None  # solve() would have to invent this value
+        if not (var.lo <= hint[name] <= var.hi):
+            return None  # solve() would skip the out-of-domain hint value
+
+    expr_vars = [frozenset(v.name for v in variables(expr)) for expr in simplified]
+    unsatisfied = [index for index, expr in enumerate(simplified)
+                   if not try_evaluate(expr, hint)]
+    if not unsatisfied:
+        # The hint satisfies everything; solve()'s fast path returns it as-is.
+        return dict(hint)
+
+    flip_names = set()
+    for index in unsatisfied:
+        flip_names.update(expr_vars[index])
+    if len(flip_names) != 1:
+        return None
+    (flip,) = flip_names
+    # Every constraint mentioning the flip variable must be unary in it;
+    # otherwise changing the flip value can break a multi-variable constraint
+    # and solve() might instead move one of the *other* variables.
+    relevant = [index for index, names in enumerate(expr_vars) if flip in names]
+    if any(expr_vars[index] != {flip} for index in relevant):
+        return None
+
+    domain = _Domain(all_vars[flip])
+    if domain.size() <= _MAX_ENUMERABLE_DOMAIN:
+        # Mirror solve()'s unary filtering (same candidate order afterwards).
+        for index in relevant:
+            allowed = _unary_satisfying_values(simplified[index], flip, domain)
+            domain.restrict_to(allowed)
+            if domain.is_empty():
+                return None
+    preferred: List[int] = [hint[flip]]
+    for index, expr in enumerate(simplified):
+        if flip in expr_vars[index]:
+            preferred.extend(sorted(_interesting_values(expr)))
+    for value in domain.iter_values(preferred):
+        if all(try_evaluate(simplified[index], {flip: value})
+               for index in relevant):
+            assignment = dict(hint)
+            assignment[flip] = value
+            return assignment
+    return None
+
+
 def solve(constraint_set: ConstraintSet,
           hint: Optional[Mapping[str, int]] = None,
           extra_variables: Optional[Iterable[SymVar]] = None,

@@ -32,8 +32,9 @@ the paper's "overhead only where you instrument".  Without a plan the legacy
 
 from __future__ import annotations
 
+import contextlib
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.interp.builtins import lookup_builtin
 from repro.interp.values import ZERO, concrete
@@ -89,6 +90,35 @@ def reset_cache_stats() -> None:
         _CACHE_STATS["misses"] = 0
 
 
+#: Per-thread scope for attributing cache events to one logical operation.
+#: The process-wide counters above cannot tell concurrent replay workers
+#: apart; a scope counts only the compile_program calls made by *this* thread
+#: while it is active, which is exactly one pending-item evaluation in the
+#: replay engine (worker threads and worker processes alike).
+_SCOPE_TLS = threading.local()
+
+
+@contextlib.contextmanager
+def cache_scope() -> Iterator[Dict[str, int]]:
+    """Count this thread's compile-cache hits/misses while the scope is open."""
+
+    events = {"hits": 0, "misses": 0}
+    previous = getattr(_SCOPE_TLS, "events", None)
+    _SCOPE_TLS.events = events
+    try:
+        yield events
+    finally:
+        _SCOPE_TLS.events = previous
+
+
+def _count_event(kind: str) -> None:
+    with _CACHE_STATS_LOCK:
+        _CACHE_STATS[kind] += 1
+    events = getattr(_SCOPE_TLS, "events", None)
+    if events is not None:
+        events[kind] += 1
+
+
 def compile_program(program: Program, plan=None) -> CompiledProgram:
     """Compile *program* for *plan*, caching per ``(program, fingerprint)``.
 
@@ -107,11 +137,9 @@ def compile_program(program: Program, plan=None) -> CompiledProgram:
         setattr(program, _CACHE_ATTR, cache)
     cached = cache.get(key)
     if cached is not None:
-        with _CACHE_STATS_LOCK:
-            _CACHE_STATS["hits"] += 1
+        _count_event("hits")
         return cached
-    with _CACHE_STATS_LOCK:
-        _CACHE_STATS["misses"] += 1
+    _count_event("misses")
     compiled = Compiler(program, plan=plan).compile()
     cache[key] = compiled
     return compiled

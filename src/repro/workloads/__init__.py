@@ -31,9 +31,26 @@ __all__ = [
     "diffutil",
     "fibonacci",
     "httpgen",
+    "library_functions_for",
     "microbench",
     "userver",
 ]
+
+
+def library_functions_for(source: str) -> frozenset:
+    """The library-function set (the paper's uClibc analogue) for a source.
+
+    The single source of truth for "which workload treats which functions as
+    library code": both the replay-search benchmark and the trace tool build
+    their pipelines through this, so instrumentation plans for a workload are
+    identical no matter which entry point constructed them.  Matching is by
+    source *content*, not object identity, so variants that re-render the
+    same program still resolve.
+    """
+
+    if source == userver.SOURCE:
+        return frozenset(userver.LIBRARY_FUNCTIONS)
+    return frozenset()
 
 
 def all_cases() -> List[Tuple[str, str, "object"]]:

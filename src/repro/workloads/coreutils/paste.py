@@ -134,6 +134,23 @@ def bug_scenario() -> Environment:
                               name="paste-bug")
 
 
+def big_bug_scenario(lines: int = 24) -> Environment:
+    """The trailing-backslash crash *after* pasting a grown input file.
+
+    Arguments are processed left to right, so ``/big.txt`` is pasted (every
+    line read through ``read_line``, populating the bitvector and the syscall
+    log) before the ``-d\\`` delimiter list triggers the overrun.  Replay must
+    reconstruct the whole file walk to reach the crash, which makes the
+    search cost scale with the file size — the coreutils analogue of the
+    paper's full-size inputs.
+    """
+
+    content = b"".join(b"field-%02d\tvalue-%02d\n" % (i, i) for i in range(lines))
+    return simple_environment(["paste", "/big.txt", "-d\\"],
+                              files={"/big.txt": content},
+                              name=f"paste-big{lines}")
+
+
 def benign_scenario(files: Optional[Dict[str, bytes]] = None) -> Environment:
     """Paste two small files with an explicit delimiter list."""
 

@@ -188,6 +188,26 @@ def experiment_2() -> Environment:
                               files=EXP2_FILES, name="diff-exp2")
 
 
+def experiment_big(lines: int = 10, changed=(2, 5, 7),
+                   name: str = "") -> Environment:
+    """A grown comparison: *lines* per file, a case flip on each *changed* line.
+
+    The paper's diff experiments compare full-size text files; this scenario
+    scales our inputs toward that (longer lines, more of them, several changed
+    lines) now that the multi-core replay search can afford it.  Used by
+    ``benchmarks/bench_replay_search.py`` and the process-pool determinism
+    tests.
+    """
+
+    changed = frozenset(changed)
+    old = b"".join(b"line-%03d common text here\n" % i for i in range(lines))
+    new = b"".join(
+        (b"line-%03d common teXt here\n" if i in changed
+         else b"line-%03d common text here\n") % i
+        for i in range(lines))
+    return custom_scenario(old, new, name=name or f"diff-big{lines}")
+
+
 def identical_scenario() -> Environment:
     """Two identical files: no differences reported."""
 

@@ -1,0 +1,208 @@
+"""Process-pool replay workers: determinism, warm start, two-process e2e."""
+
+import os
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro import (
+    InstrumentationMethod,
+    Pipeline,
+    PipelineConfig,
+    ReplayBudget,
+)
+from repro.replay.engine import ReplayEngine
+from repro.replay.pending import PendingItem
+from repro.symbolic.constraints import ConstraintSet
+from repro.symbolic.expr import sym_bin, sym_const, sym_var
+from repro.symbolic.solver import solve, warm_start_assignment
+from repro.workloads import diffutil, userver
+from repro.workloads.coreutils import mkdir, paste
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: One crashing scenario per workload family (uServer, diff, coreutils).
+FAMILIES = [
+    ("userver-exp2", userver.SOURCE, userver.experiment(2),
+     frozenset(userver.LIBRARY_FUNCTIONS)),
+    ("diff-exp1", diffutil.SOURCE, diffutil.experiment_1(), frozenset()),
+    ("mkdir-bug", mkdir.SOURCE, mkdir.bug_scenario(), frozenset()),
+]
+
+
+def outcome_fingerprint(outcome):
+    """The explored search tree plus every mode-independent counter."""
+
+    crash = None
+    if outcome.crash_site is not None:
+        crash = (outcome.crash_site.function, outcome.crash_site.line)
+    return (
+        outcome.reproduced, outcome.runs, outcome.solver_calls,
+        outcome.warm_start_hits, outcome.solver_nodes,
+        outcome.compile_cache_lookups,
+        tuple((r.outcome, r.consumed_bits, r.constraints, r.deviation)
+              for r in outcome.run_records),
+        tuple(sorted(outcome.pending_stats.items())),
+        tuple(sorted(outcome.found_input.items())),
+        crash,
+    )
+
+
+def record_for(source, environment, library):
+    pipeline = Pipeline.from_source(
+        source, name=environment.name,
+        config=PipelineConfig(library_functions=set(library)))
+    plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES,
+                              environment=environment)
+    return pipeline, pipeline.record(plan, environment)
+
+
+def search(pipeline, recording, workers, worker_kind, warm_start=True,
+           budget=None):
+    engine = ReplayEngine(
+        program=pipeline.program, plan=recording.plan,
+        bitvector=recording.bitvector, syscall_log=recording.syscall_log,
+        crash_site=recording.crash_site,
+        environment=recording.environment.scaffold(),
+        budget=budget or ReplayBudget(max_runs=1500, max_seconds=60),
+        backend="vm", workers=workers, worker_kind=worker_kind,
+        warm_start=warm_start)
+    return engine.reproduce()
+
+
+class TestProcessPoolDeterminism:
+    @pytest.mark.parametrize("name,source,environment,library", FAMILIES,
+                             ids=[f[0] for f in FAMILIES])
+    def test_explored_set_identical_across_worker_kinds(self, name, source,
+                                                        environment, library):
+        pipeline, recording = record_for(source, environment, library)
+        serial = search(pipeline, recording, workers=1, worker_kind="thread")
+        threads = search(pipeline, recording, workers=3, worker_kind="thread")
+        processes = search(pipeline, recording, workers=2, worker_kind="process")
+        assert serial.reproduced
+        base = outcome_fingerprint(serial)
+        assert outcome_fingerprint(threads) == base
+        assert outcome_fingerprint(processes) == base
+        # Cross-process observability: the aggregated totals match serial
+        # (the hit/miss split legitimately differs — each worker process
+        # warms its own compile cache — but the lookup total cannot).
+        for key in ("runs", "solver_calls", "solver_nodes", "warm_start_hits",
+                    "compile_cache_lookups"):
+            assert processes.stats()[key] == serial.stats()[key], key
+        assert processes.worker_kind == "process"
+        assert serial.compile_cache_lookups == serial.runs
+
+    def test_grown_coreutils_scenario_process_identical(self):
+        pipeline, recording = record_for(paste.SOURCE, paste.big_bug_scenario(24),
+                                         frozenset())
+        serial = search(pipeline, recording, workers=1, worker_kind="thread")
+        processes = search(pipeline, recording, workers=2, worker_kind="process")
+        assert serial.reproduced
+        assert outcome_fingerprint(processes) == outcome_fingerprint(serial)
+
+    def test_invalid_worker_kind_rejected(self):
+        pipeline, recording = record_for(mkdir.SOURCE, mkdir.bug_scenario(),
+                                         frozenset())
+        with pytest.raises(ValueError, match="worker_kind"):
+            search(pipeline, recording, workers=2, worker_kind="fork-bomb")
+
+    def test_pending_items_pickle_with_stable_signatures(self):
+        constraints = ConstraintSet()
+        constraints.add_expr(sym_bin("==", sym_var("a0"), sym_const(47)))
+        constraints.add_expr(sym_bin(">", sym_var("a1"), sym_const(5)))
+        item = PendingItem(constraints=constraints, hint={"a0": 47, "a1": 9},
+                           depth=2, origin_run=3, reason="test")
+        clone = pickle.loads(pickle.dumps(item))
+        assert clone.signature() == item.signature()
+        assert clone.hint == item.hint
+        assert [str(c.expr) for c in clone.constraints] == \
+               [str(c.expr) for c in item.constraints]
+
+
+class TestWarmStart:
+    def test_differential_against_solver(self):
+        """warm_start_assignment must return exactly solve()'s answer or None."""
+
+        rng = random.Random(20260730)
+        ops = ["==", "!=", "<", "<=", ">", ">="]
+        hits = 0
+        for _ in range(600):
+            variables = [sym_var(f"v{i}", 0, rng.choice([10, 255, 100000]))
+                         for i in range(rng.randint(1, 4))]
+            constraints = ConstraintSet()
+            for _ in range(rng.randint(1, 6)):
+                if rng.random() < 0.75:
+                    constraints.add_expr(sym_bin(
+                        rng.choice(ops), rng.choice(variables),
+                        sym_const(rng.randint(-2, 260))))
+                else:
+                    constraints.add_expr(sym_bin(
+                        rng.choice(ops), rng.choice(variables),
+                        rng.choice(variables)))
+            hint = {var.name: rng.randint(var.lo, min(var.hi, 300))
+                    for var in variables if rng.random() < 0.9}
+            warm = warm_start_assignment(constraints, hint)
+            if warm is None:
+                continue
+            hits += 1
+            solution = solve(constraints, hint=hint)
+            assert solution.satisfiable
+            overrides = dict(hint)
+            overrides.update(solution.assignment)
+            assert warm == overrides, (str(constraints), hint)
+        assert hits > 50  # the shortcut must actually fire on typical shapes
+
+    def test_engine_tree_identical_with_and_without_warm_start(self):
+        pipeline, recording = record_for(userver.SOURCE, userver.experiment(2),
+                                         frozenset(userver.LIBRARY_FUNCTIONS))
+        warm = search(pipeline, recording, workers=1, worker_kind="thread",
+                      warm_start=True)
+        cold = search(pipeline, recording, workers=1, worker_kind="thread",
+                      warm_start=False)
+        assert warm.reproduced and cold.reproduced
+        # Identical tree (runs, records, pending, input) ...
+        def tree(outcome):
+            return (outcome.runs,
+                    tuple((r.outcome, r.consumed_bits, r.constraints,
+                           r.deviation) for r in outcome.run_records),
+                    tuple(sorted(outcome.pending_stats.items())),
+                    tuple(sorted(outcome.found_input.items())))
+        assert tree(warm) == tree(cold)
+        # ... for strictly fewer solver calls.
+        assert warm.warm_start_hits > 0
+        assert warm.solver_calls < cold.solver_calls
+        assert cold.warm_start_hits == 0
+
+
+class TestTwoProcessEndToEnd:
+    def test_record_then_replay_in_separate_processes(self, tmp_path):
+        """The paper's split, literally: record and replay never share a process."""
+
+        tool = os.path.join(REPO_ROOT, "scripts", "trace_tool.py")
+        trace_path = str(tmp_path / "mkdir.trace")
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+
+        record = subprocess.run(
+            [sys.executable, tool, "record", "--workload", "mkdir-bug",
+             "--out", trace_path],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert record.returncode == 0, record.stderr
+        assert os.path.exists(trace_path)
+
+        replay = subprocess.run(
+            [sys.executable, tool, "replay", "--trace", trace_path,
+             "--workload", "mkdir-bug", "--workers", "2",
+             "--worker-kind", "process"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert replay.returncode == 0, replay.stdout + replay.stderr
+        assert "reproduced" in replay.stdout
+
+        mismatch = subprocess.run(
+            [sys.executable, tool, "replay", "--trace", trace_path,
+             "--workload", "diff-exp1"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert mismatch.returncode == 2
+        assert "matched binaries" in mismatch.stderr
