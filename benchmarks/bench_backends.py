@@ -1,13 +1,22 @@
 """Backend shoot-out: bytecode VM vs tree-walking interpreter.
 
 Raw instructions/sec (steps are charged in identical tree-walker units on
-both backends, so the comparison is substrate-only) on fibonacci, the §5.1
+every substrate, so the comparison is substrate-only) on fibonacci, the §5.1
 counting loop, and the uServer request loop — with no instrumentation and
-under full branch logging.
+under full branch logging.  Three substrates per cell: the interpreter, the
+named-cell VM (``vm-base``: register allocation disabled, i.e. the PR 3 VM)
+and the register-allocated VM, which gates the slot-frame refactor at
+>= 1.3x over ``vm-base`` on every workload.
+
+Set ``BENCH_SMOKE=1`` for the shrunken CI smoke sizes.
 """
+
+import os
 
 from repro.experiments import backend_exp, print_table
 from benchmarks.conftest import run_once
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 
 
 def _by_key(rows):
@@ -16,19 +25,37 @@ def _by_key(rows):
 
 
 def test_vm_beats_interpreter(benchmark):
-    rows = run_once(benchmark, backend_exp.backend_rows)
+    rows = run_once(benchmark, backend_exp.backend_rows,
+                    repeats=1 if SMOKE else 3, smoke=SMOKE)
     print_table(rows, "Backend comparison - VM vs tree-walking interpreter")
     indexed = _by_key(rows)
     for workload in ("fibonacci", "microbench", "userver"):
         for configuration in ("none", "all branches"):
             interp = indexed[(workload, configuration, "interp")]
             vm = indexed[(workload, configuration, "vm")]
-            # Identical work in tree-walker step units...
-            assert vm["steps"] == interp["steps"]
-            assert vm["branch_executions"] == interp["branch_executions"]
+            vm_base = indexed[(workload, configuration, "vm-base")]
+            # Identical work in tree-walker step units (deterministic, so
+            # asserted in smoke mode too)...
+            assert vm["steps"] == interp["steps"] == vm_base["steps"]
+            assert (vm["branch_executions"] == interp["branch_executions"]
+                    == vm_base["branch_executions"])
+            if SMOKE:
+                # Single-repeat shrunken-size timings are too noisy for
+                # wall-clock gates on shared runners; the smoke job only
+                # checks the work-equality invariants above and prints the
+                # table for eyeballing.
+                continue
             # ...delivered faster by the bytecode dispatch loop.
             assert vm["instructions_per_sec"] > interp["instructions_per_sec"], (
                 f"VM slower than interpreter on {workload}/{configuration}")
+            # The register-allocation gate: slot frames + flattened calls +
+            # inline slot superinstructions must beat the named-cell VM by a
+            # clear margin on every workload (measured 1.5-2.1x; the gate
+            # leaves room for shared-runner noise).
+            assert vm["speedup_vs_vm_base"] >= 1.3, (
+                f"register allocation only {vm['speedup_vs_vm_base']}x "
+                f"over the named-cell VM on {workload}/{configuration}")
     # The dense counting loop is where dispatch dominates: expect a solid
     # margin there, not a photo finish.
-    assert indexed[("microbench", "none", "vm")]["speedup_vs_interp"] >= 1.3
+    if not SMOKE:
+        assert indexed[("microbench", "none", "vm")]["speedup_vs_interp"] >= 1.3

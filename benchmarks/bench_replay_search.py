@@ -1,11 +1,12 @@
-"""Replay-search shoot-out: three PRs of search stack vs the PR 1 baseline.
+"""Replay-search shoot-out: four PRs of search stack vs the PR 1 baseline.
 
 Times the complete guided search (the paper's "replay time") on uServer, diff
 and coreutils crash scenarios under five configurations — the PR 1 stack
 (legacy full-rescan constraint search, unspecialized VM, serial), the
-plan-specialized serial stack, the solver warm start, and the speculative
-worker pool on threads and on processes — asserting that all five explore
-byte-identical search trees before comparing wall-clock.
+plan-specialized serial stack, the solver warm start, the register-allocated
+VM frames (pr4), and the speculative worker pool on processes — asserting
+that all five explore byte-identical search trees before comparing
+wall-clock.
 
 Set ``BENCH_SMOKE=1`` to run the two-scenario smoke subset (CI).  The row set
 is dumped to ``BENCH_replay.json`` so the perf trajectory is tracked
@@ -31,7 +32,7 @@ MULTI_SECOND = 1.0
 def test_replay_search_speedup(benchmark):
     rows = run_once(benchmark, replay_search_exp.search_rows,
                     smoke=SMOKE, repeats=1 if SMOKE else 2)
-    print_table(rows, "Replay search - warm-started process pool vs PR 1/PR 2")
+    print_table(rows, "Replay search - register-allocated process pool vs PR 1-3")
     artifact = replay_search_exp.write_artifact(rows)
     print(f"wrote {artifact}")
 
@@ -51,6 +52,17 @@ def test_replay_search_speedup(benchmark):
         speedup = by_key[(scenario, "pr3-serial")]["speedup_vs_pr1"]
         assert speedup >= 1.5, (
             f"{scenario}: pr3-serial only {speedup}x over pr1-serial")
+        # Register allocation must not regress the serial search.  Its
+        # wall-clock win varies with how run-bound vs solver-bound the
+        # scenario is (measured 1.0-1.6x run-bound, ~1.0x solver-bound), so
+        # the hard >= 1.3x instructions/sec gate lives in the controlled
+        # bench_backends.py comparison; here the bound only catches real
+        # regressions through the shared-runner noise the interleaved
+        # process-pool configurations add, and the artifact records the
+        # exact ratio per scenario.
+        regalloc = by_key[(scenario, "pr4-serial")]["regalloc_speedup_vs_pr3"]
+        assert regalloc >= 0.75, (
+            f"{scenario}: register allocation slowed the search ({regalloc}x)")
         # The warm start must actually save solver calls somewhere real.
         saved = by_key[(scenario, "pr3-serial")]["solver_calls_saved_vs_pr1"]
         assert saved >= 0, f"{scenario}: warm start added solver calls"
@@ -66,10 +78,10 @@ def test_replay_search_speedup(benchmark):
     cores = os.cpu_count() or 1
     if not SMOKE and not SKIP_PROCESS_GATE and cores >= 4:
         candidates = [s for s in scenarios
-                      if by_key[(s, "pr3-serial")]["wall_seconds"] >= MULTI_SECOND]
+                      if by_key[(s, "pr4-serial")]["wall_seconds"] >= MULTI_SECOND]
         assert candidates, "no multi-second serial search to measure scaling on"
-        best = max(by_key[(s, "pr3-process")]["speedup_vs_serial"]
+        best = max(by_key[(s, "pr4-process")]["speedup_vs_serial"]
                    for s in candidates)
         assert best >= 1.5, (
-            f"process pool only {best}x over pr3-serial on {cores} cores "
+            f"process pool only {best}x over pr4-serial on {cores} cores "
             f"(candidates: {candidates})")

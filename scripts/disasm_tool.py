@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Disassemble the bytecode the VM would run for a workload.
+
+The debugging aid for the register-allocation and plan-specialization
+layers: dump every compiled code object — opcode names, slot numbers with
+their source names, branch targets and whether each branch compiled as
+``BRANCH_LOGGED`` (instrumented: inline bitvector append/compare) or
+``BRANCH_BARE`` (hook-free) under the selected instrumentation plan::
+
+    PYTHONPATH=src python scripts/disasm_tool.py --workload microbench
+    PYTHONPATH=src python scripts/disasm_tool.py --workload diff-exp1 \
+        --method "all branches" --function main
+    PYTHONPATH=src python scripts/disasm_tool.py --workload userver-exp1 \
+        --no-regalloc --summary
+
+``--method none`` (the default compiles unspecialized code) selects the
+plan; ``--no-regalloc`` shows the named-cell code the pre-slot VM ran;
+``--summary`` prints per-function frame layouts and opcode counts instead
+of full listings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections import Counter
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.instrument.methods import InstrumentationMethod  # noqa: E402
+from repro.core.config import PipelineConfig  # noqa: E402
+from repro.core.pipeline import Pipeline  # noqa: E402
+from repro.lang.resolve import resolve_program  # noqa: E402
+from repro.vm.code import CompiledProgram  # noqa: E402
+from repro.vm.compiler import compile_program  # noqa: E402
+from repro.vm.opcodes import OPCODE_NAMES  # noqa: E402
+from repro.workloads import all_cases, library_functions_for  # noqa: E402
+
+
+def registry():
+    return {name: (source, environment, library_functions_for(source))
+            for name, source, environment in all_cases()}
+
+
+def summarize(compiled: CompiledProgram) -> str:
+    lines = []
+    codes = list(compiled.functions.values())
+    if compiled.globals_code is not None and compiled.globals_code.instructions:
+        codes.insert(0, compiled.globals_code)
+    for code in codes:
+        ops = Counter(OPCODE_NAMES.get(instr[0], str(instr[0]))
+                      for instr in code.instructions)
+        layout = ", ".join(f"{i}:{name}"
+                           for i, name in enumerate(code.slot_names)) or "-"
+        lines.append(f"{code.name}: {len(code.instructions)} instructions, "
+                     f"nlocals={code.nlocals} [{layout}]")
+        lines.append("  " + ", ".join(f"{name}x{count}"
+                                      for name, count in ops.most_common()))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", required=True,
+                        help="a name from `trace_tool.py list`")
+    parser.add_argument("--method", default=None,
+                        choices=[m.value for m in InstrumentationMethod],
+                        help="plan-specialize for this instrumentation method "
+                             "(omit for unspecialized code)")
+    parser.add_argument("--function", default=None,
+                        help="disassemble only this function")
+    parser.add_argument("--no-regalloc", action="store_true",
+                        help="compile without register allocation "
+                             "(every local on the named-cell path)")
+    parser.add_argument("--summary", action="store_true",
+                        help="frame layouts and opcode histograms only")
+    args = parser.parse_args(argv)
+
+    table = registry()
+    if args.workload not in table:
+        print(f"unknown workload {args.workload!r}; choose one of: "
+              f"{', '.join(sorted(table))}", file=sys.stderr)
+        return 2
+    source, environment, library = table[args.workload]
+    pipeline = Pipeline.from_source(
+        source, name=args.workload,
+        config=PipelineConfig(library_functions=set(library)))
+    program = pipeline.program
+
+    plan = None
+    if args.method is not None:
+        plan = pipeline.make_plan(InstrumentationMethod(args.method),
+                                  environment=environment)
+    compiled = compile_program(program, plan, resolve=not args.no_regalloc)
+
+    resolution = None if args.no_regalloc else resolve_program(program)
+    header = [f"workload {args.workload}: {len(compiled.functions)} functions, "
+              f"{compiled.instruction_count()} instructions"]
+    header.append(f"plan: {args.method or 'none (unspecialized)'}; "
+                  f"logged branch slots: {len(compiled.logged_locations)}")
+    if resolution is not None:
+        stats = resolution.stats()
+        header.append(
+            f"register allocation v{compiled.resolver_version}: "
+            f"{stats['slots']} slots, {stats['slot_accesses']} slot accesses, "
+            f"{stats['global_accesses']} global accesses, "
+            f"{stats['named_accesses']} named-cell accesses, "
+            f"{stats['fully_slotted_functions']} fully slotted functions")
+    else:
+        header.append("register allocation: disabled (named cells only)")
+    print("\n".join(header))
+    print()
+
+    if args.function is not None:
+        code = compiled.functions.get(args.function)
+        if code is None:
+            print(f"no function {args.function!r} in this workload",
+                  file=sys.stderr)
+            return 2
+        print(summarize(compiled) if args.summary else code.dis())
+        return 0
+    print(summarize(compiled) if args.summary else compiled.dis())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

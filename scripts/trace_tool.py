@@ -159,7 +159,12 @@ def main(argv=None) -> int:
     try:
         return handler(args)
     except TraceError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # Bad trace files and mismatched binaries are user-facing outcomes,
+        # not tool bugs: report a one-line reason and a distinct exit code
+        # instead of a traceback (TraceFormatError covers corruption and
+        # version skew, TraceFingerprintMismatch unmatched binaries).
+        reason = " ".join(str(exc).split())
+        print(f"error: {type(exc).__name__}: {reason}", file=sys.stderr)
         return 2
 
 

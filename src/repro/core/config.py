@@ -51,6 +51,11 @@ class PipelineConfig:
     # Let the VM backend run plan-specialized bytecode (BRANCH_LOGGED /
     # BRANCH_BARE instead of hook-dispatched BRANCH) during record and replay.
     specialize_plans: bool = True
+    # Let the VM backend run register-allocated bytecode: locals the static
+    # resolution pass proves pure live in numbered frame slots (LOAD_FAST/
+    # STORE_FAST) instead of scope dicts.  Disable to run the named-cell VM
+    # for comparison; semantics are identical either way.
+    register_allocation: bool = True
 
     def static_skip_set(self) -> Set[str]:
         return set(self.library_functions) if self.static_skips_library else set()

@@ -150,7 +150,8 @@ class Pipeline:
             config=ExecutionConfig(mode=ExecutionMode.RECORD,
                                    max_steps=self.config.record_max_steps,
                                    backend=self.config.backend,
-                                   specialize_plans=self.config.specialize_plans),
+                                   specialize_plans=self.config.specialize_plans,
+                                   register_allocation=self.config.register_allocation),
         )
         return executor.run(environment.argv)
 
@@ -166,7 +167,8 @@ class Pipeline:
             config=ExecutionConfig(mode=ExecutionMode.RECORD,
                                    max_steps=self.config.record_max_steps,
                                    backend=self.config.backend,
-                                   specialize_plans=self.config.specialize_plans),
+                                   specialize_plans=self.config.specialize_plans,
+                                   register_allocation=self.config.register_allocation),
         )
         execution = executor.run(environment.argv)
         baseline = self.baseline_steps(environment)
@@ -220,6 +222,7 @@ class Pipeline:
             workers=self.config.replay_workers,
             worker_kind=self.config.replay_worker_kind,
             specialize_plans=self.config.specialize_plans,
+            register_allocation=self.config.register_allocation,
             warm_start=self.config.replay_warm_start,
         )
         outcome = engine.reproduce()
@@ -271,6 +274,7 @@ class Pipeline:
             workers=self.config.replay_workers,
             worker_kind=self.config.replay_worker_kind,
             specialize_plans=self.config.specialize_plans,
+            register_allocation=self.config.register_allocation,
             warm_start=self.config.replay_warm_start,
         )
         outcome = engine.reproduce()

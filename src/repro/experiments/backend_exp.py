@@ -21,7 +21,7 @@ from typing import Dict, List
 from repro.environment import Environment
 from repro.instrument.logger import BranchLogger
 from repro.instrument.methods import InstrumentationMethod, build_plan
-from repro.interp.backend import BACKENDS, create_backend
+from repro.interp.backend import create_backend
 from repro.interp.inputs import ExecutionMode, InputBinder
 from repro.interp.interpreter import ExecutionConfig
 from repro.interp.tracer import NullHooks
@@ -30,9 +30,30 @@ from repro.vm.compiler import compile_program
 from repro.workloads import fibonacci, microbench, userver
 
 
-def bench_workloads() -> List[tuple]:
-    """``(workload, source, environment)`` triples sized for stable timing."""
+#: The measured execution substrates: both Backend implementations plus the
+#: bytecode VM with register allocation disabled (the pre-slot "PR 3" VM),
+#: which anchors the slot-frame speedup gate in ``bench_backends.py``.
+MEASURED = (
+    ("interp", "interp", True),
+    ("vm-base", "vm", False),   # named-cell frames (no register allocation)
+    ("vm", "vm", True),         # register-allocated frames
+)
 
+
+def bench_workloads(smoke: bool = False) -> List[tuple]:
+    """``(workload, source, environment)`` triples sized for stable timing.
+
+    ``smoke=True`` shrinks every scenario so the whole comparison finishes
+    in seconds (the CI bench-smoke step); the full sizes are what the
+    recorded speedups are quoted on.
+    """
+
+    if smoke:
+        return [
+            ("fibonacci", fibonacci.SOURCE, fibonacci.scenario_b()),
+            ("microbench", microbench.SOURCE, microbench.scenario(2_000)),
+            ("userver", userver.SOURCE, userver.saturation_workload(4)),
+        ]
     return [
         ("fibonacci", fibonacci.SOURCE, fibonacci.scenario_b()),
         ("microbench", microbench.SOURCE, microbench.scenario(20_000)),
@@ -41,7 +62,7 @@ def bench_workloads() -> List[tuple]:
 
 
 def _timed_run(program: Program, environment: Environment, backend: str,
-               logged: bool) -> Dict[str, object]:
+               register_allocation: bool, logged: bool) -> Dict[str, object]:
     if logged:
         plan = build_plan(InstrumentationMethod.ALL_BRANCHES,
                           program.branch_locations, log_syscalls=True)
@@ -53,7 +74,8 @@ def _timed_run(program: Program, environment: Environment, backend: str,
         kernel=environment.make_kernel(),
         hooks=hooks,
         binder=InputBinder(mode=ExecutionMode.RECORD),
-        config=ExecutionConfig(mode=ExecutionMode.RECORD, backend=backend),
+        config=ExecutionConfig(mode=ExecutionMode.RECORD, backend=backend,
+                               register_allocation=register_allocation),
     )
     start = time.perf_counter()
     result = executor.run(environment.argv)
@@ -62,35 +84,41 @@ def _timed_run(program: Program, environment: Environment, backend: str,
             "branch_executions": result.branch_executions}
 
 
-def backend_rows(repeats: int = 3) -> List[Dict[str, object]]:
+def backend_rows(repeats: int = 3, smoke: bool = False) -> List[Dict[str, object]]:
     """One row per (workload, configuration, backend); best-of-``repeats``."""
 
     rows: List[Dict[str, object]] = []
-    for workload, source, environment in bench_workloads():
+    for workload, source, environment in bench_workloads(smoke):
         program = Program.from_source(source, name=workload)
-        compile_program(program)  # pay bytecode compilation once, up front
+        # Pay all compilations once, up front.
+        compile_program(program)
+        compile_program(program, resolve=False)
         for configuration, logged in (("none", False), ("all branches", True)):
             measured = {}
-            for backend in BACKENDS:
+            for name, backend, regalloc in MEASURED:
                 best = None
                 for _ in range(repeats):
-                    sample = _timed_run(program, environment, backend, logged)
+                    sample = _timed_run(program, environment, backend,
+                                        regalloc, logged)
                     if best is None or sample["wall_seconds"] < best["wall_seconds"]:
                         best = sample
-                measured[backend] = best
+                measured[name] = best
             baseline_ips = (measured["interp"]["steps"]
                             / measured["interp"]["wall_seconds"])
-            for backend in BACKENDS:
-                best = measured[backend]
+            vm_base_ips = (measured["vm-base"]["steps"]
+                           / measured["vm-base"]["wall_seconds"])
+            for name, backend, regalloc in MEASURED:
+                best = measured[name]
                 ips = best["steps"] / best["wall_seconds"]
                 rows.append({
                     "workload": workload,
                     "configuration": configuration,
-                    "backend": backend,
+                    "backend": name,
                     "steps": best["steps"],
                     "branch_executions": best["branch_executions"],
                     "wall_seconds": round(best["wall_seconds"], 4),
                     "instructions_per_sec": round(ips),
                     "speedup_vs_interp": round(ips / baseline_ips, 2),
+                    "speedup_vs_vm_base": round(ips / vm_base_ips, 2),
                 })
     return rows

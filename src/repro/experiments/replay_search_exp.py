@@ -49,19 +49,24 @@ from repro.workloads import diffutil, library_functions_for, userver
 from repro.workloads.coreutils import paste
 
 #: The benchmarked configurations:
-#: (name, solver impl, specialize, workers, worker kind, warm start).
-CONFIGURATIONS: Tuple[Tuple[str, str, bool, int, str, bool], ...] = (
-    ("pr1-serial", "legacy", False, 1, "thread", False),
-    ("pr2-serial", "incremental", True, 1, "thread", False),
-    ("pr3-serial", "incremental", True, 1, "thread", True),
-    ("pr3-threads", "incremental", True, 4, "thread", True),
-    ("pr3-process", "incremental", True, 4, "process", True),
+#: (name, solver impl, specialize, workers, worker kind, warm start,
+#:  register allocation).  ``pr4`` adds the register-allocated VM frames;
+#: ``pr3-serial`` keeps running the named-cell VM so the PR-over-PR artifact
+#: records the slot-frame win on identical search trees.
+CONFIGURATIONS: Tuple[Tuple[str, str, bool, int, str, bool, bool], ...] = (
+    ("pr1-serial", "legacy", False, 1, "thread", False, False),
+    ("pr2-serial", "incremental", True, 1, "thread", False, False),
+    ("pr3-serial", "incremental", True, 1, "thread", True, False),
+    ("pr4-serial", "incremental", True, 1, "thread", True, True),
+    ("pr4-process", "incremental", True, 4, "process", True, True),
 )
 
 BASELINE = "pr1-serial"
 #: The serial equivalent of the process configuration; their wall-clock ratio
 #: is the pure multi-core win (identical work, different scheduling).
-SERIAL_REFERENCE = "pr3-serial"
+SERIAL_REFERENCE = "pr4-serial"
+#: pr4-serial vs this configuration isolates the register-allocation win.
+PRE_REGALLOC_REFERENCE = "pr3-serial"
 
 
 def scenarios(smoke: bool = False) -> List[Tuple[str, str, str, "object", frozenset]]:
@@ -109,7 +114,7 @@ def _outcome_fingerprint(outcome: ReplayOutcome) -> tuple:
 
 def _timed_search(pipeline: Pipeline, recording, solver_impl: str,
                   specialize: bool, workers: int, worker_kind: str,
-                  warm_start: bool,
+                  warm_start: bool, register_allocation: bool,
                   budget: ReplayBudget) -> Tuple[ReplayOutcome, float]:
     engine = ReplayEngine(
         program=pipeline.program,
@@ -123,6 +128,7 @@ def _timed_search(pipeline: Pipeline, recording, solver_impl: str,
         workers=workers,
         worker_kind=worker_kind,
         specialize_plans=specialize,
+        register_allocation=register_allocation,
         warm_start=warm_start,
     )
     previous = solver_mod.set_search_impl(solver_impl)
@@ -148,21 +154,24 @@ def search_rows(smoke: bool = False, repeats: int = 2,
         plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES,
                                   environment=environment)
         recording = pipeline.record(plan, environment)
-        # Pay both bytecode compilations up front: the searches being compared
-        # should time re-runs, not one-off compiles.
+        # Pay every bytecode compilation up front: the searches being
+        # compared should time re-runs, not one-off compiles.
         vm_compiler.compile_program(pipeline.program)
         vm_compiler.compile_program(pipeline.program, plan)
+        vm_compiler.compile_program(pipeline.program, resolve=False)
+        vm_compiler.compile_program(pipeline.program, plan, resolve=False)
 
         fingerprints = {}
         walls: Dict[str, float] = {}
         solver_calls: Dict[str, int] = {}
-        for config, solver_impl, specialize, workers, worker_kind, warm in CONFIGURATIONS:
+        for (config, solver_impl, specialize, workers, worker_kind, warm,
+             regalloc) in CONFIGURATIONS:
             best_wall = None
             outcome = None
             for _ in range(repeats):
                 outcome, wall = _timed_search(pipeline, recording, solver_impl,
                                               specialize, workers, worker_kind,
-                                              warm, budget)
+                                              warm, regalloc, budget)
                 if best_wall is None or wall < best_wall:
                     best_wall = wall
             fingerprints[config] = _outcome_fingerprint(outcome)
@@ -185,9 +194,15 @@ def search_rows(smoke: bool = False, repeats: int = 2,
             })
         # The process pool's pure multi-core win over identical serial work.
         process_row = rows[-1]
-        assert process_row["configuration"] == "pr3-process"
+        assert process_row["configuration"] == "pr4-process"
         process_row["speedup_vs_serial"] = round(
-            walls[SERIAL_REFERENCE] / walls["pr3-process"], 2)
+            walls[SERIAL_REFERENCE] / walls["pr4-process"], 2)
+        # The register-allocation win on an identical search tree (pr4-serial
+        # differs from pr3-serial only by the VM frame representation).
+        serial_row = rows[-2]
+        assert serial_row["configuration"] == "pr4-serial"
+        serial_row["regalloc_speedup_vs_pr3"] = round(
+            walls[PRE_REGALLOC_REFERENCE] / walls[SERIAL_REFERENCE], 2)
     return rows
 
 

@@ -120,6 +120,12 @@ class ExecutionConfig:
     # support it (BranchLogger / ReplayRunHooks).  Ignored by the interpreter;
     # disable to force the legacy one-BRANCH-opcode dispatch for comparison.
     specialize_plans: bool = True
+    # Let the VM run register-allocated code: locals the static resolution
+    # pass (repro.lang.resolve) can prove pure live in numbered frame slots
+    # instead of the scope dict.  Ignored by the interpreter; disable to
+    # force every local onto the named-cell path (the pre-slot VM) for
+    # comparison benchmarks and differential tests.
+    register_allocation: bool = True
 
 
 @dataclass

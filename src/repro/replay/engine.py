@@ -196,6 +196,7 @@ class _EngineSpec:
     require_full_log_match: bool
     backend: str
     specialize_plans: bool
+    register_allocation: bool
     warm_start: bool
 
     def build_engine(self) -> "ReplayEngine":
@@ -212,6 +213,7 @@ class _EngineSpec:
             backend=self.backend,
             workers=1,
             specialize_plans=self.specialize_plans,
+            register_allocation=self.register_allocation,
             warm_start=self.warm_start,
         )
 
@@ -247,6 +249,7 @@ class ReplayEngine:
                  workers: int = 1,
                  worker_kind: str = "thread",
                  specialize_plans: bool = True,
+                 register_allocation: bool = True,
                  warm_start: bool = True) -> None:
         if worker_kind not in WORKER_KINDS:
             raise ValueError(f"worker_kind must be one of {WORKER_KINDS}")
@@ -262,6 +265,7 @@ class ReplayEngine:
         self.workers = max(1, int(workers))
         self.worker_kind = worker_kind
         self.specialize_plans = specialize_plans
+        self.register_allocation = register_allocation
         self.warm_start = warm_start
         # When True (the default), a run only counts as a reproduction if it
         # crashes at the recorded site *and* its instrumented branch directions
@@ -375,6 +379,7 @@ class ReplayEngine:
             require_full_log_match=self.require_full_log_match,
             backend=self.backend,
             specialize_plans=self.specialize_plans,
+            register_allocation=self.register_allocation,
             warm_start=self.warm_start,
         )
 
@@ -534,9 +539,12 @@ class ReplayEngine:
             outcome.found_input = dict(evaluation.assignment)
             return True
 
-        # Merge the alternatives this run discovered.
+        # Merge the alternatives this run discovered.  Interning canonicalizes
+        # the constraint chains so prefix-sharing pending items reference the
+        # same Constraint objects — whether the evaluation happened inline or
+        # came back (prefix-sharing but identity-free) from a worker process.
         for constraints, reason in evaluation.alternatives:
-            pending.push(PendingItem(constraints=constraints,
+            pending.push(PendingItem(constraints=constraints.interned(),
                                      hint=dict(evaluation.assignment),
                                      depth=len(constraints),
                                      origin_run=outcome.runs,
@@ -561,7 +569,8 @@ class ReplayEngine:
                                  max_steps=self.budget.max_steps_per_run,
                                  syscall_result_provider=provider,
                                  backend=self.backend,
-                                 specialize_plans=self.specialize_plans)
+                                 specialize_plans=self.specialize_plans,
+                                 register_allocation=self.register_allocation)
         executor = create_backend(self.program, kernel=kernel, hooks=hooks,
                                   binder=binder, config=config)
         result = executor.run(self.environment.argv)

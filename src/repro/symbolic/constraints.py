@@ -9,8 +9,9 @@ sets describing unexplored alternatives (see
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.symbolic.expr import SymExpr, SymVar, sym_const
 from repro.symbolic.simplify import simplify, try_evaluate, variables
@@ -37,6 +38,46 @@ class Constraint:
         return str(self.expr)
 
 
+# ---------------------------------------------------------------------------
+# Constraint-prefix interning
+# ---------------------------------------------------------------------------
+#
+# The replay engine's pending items are overwhelmingly *prefix-sharing*: a
+# run's alternatives extend the run's own constraint set, and items that come
+# back from a worker process are structurally equal to ones the parent could
+# have produced locally — but, having crossed a pickle boundary, share no
+# objects with them.  The intern table below hash-conses constraint chains:
+# position ``k`` of a chain is canonicalized by the *identity* of position
+# ``k-1``'s canonical constraint plus its own ``(origin, expr)`` signature
+# entry, so two sets with equal prefixes resolve to the very same
+# :class:`Constraint` objects.  That restores object sharing across pending
+# items (pickling a batch of items stores each shared prefix constraint only
+# once, shrinking the payload shipped between the engine and its process
+# workers) and bounds parent-side memory when thousands of items queue up.
+
+#: ``(id(parent canonical), origin, rendered expr) -> canonical Constraint``.
+_INTERN_CHAIN: Dict[Tuple, Constraint] = {}
+_INTERN_LOCK = threading.Lock()
+_INTERN_STATS = {"hits": 0, "misses": 0}
+#: Safety valve: clearing the table only costs future sharing, never
+#: correctness, so cap it instead of growing without bound.
+_INTERN_MAX_ENTRIES = 200_000
+
+
+def intern_stats() -> Dict[str, int]:
+    """Hit/miss counters of the process-wide constraint intern table."""
+
+    with _INTERN_LOCK:
+        return dict(_INTERN_STATS)
+
+
+def clear_intern_table() -> None:
+    with _INTERN_LOCK:
+        _INTERN_CHAIN.clear()
+        _INTERN_STATS["hits"] = 0
+        _INTERN_STATS["misses"] = 0
+
+
 class ConstraintSet:
     """An ordered, append-only conjunction of :class:`Constraint` objects."""
 
@@ -49,6 +90,7 @@ class ConstraintSet:
         """Append a constraint to the conjunction."""
 
         self._constraints.append(constraint)
+        self._interned = False
 
     def add_expr(self, expr: SymExpr, origin: int = 0, description: str = "") -> None:
         self.add(Constraint(simplify(expr), origin, description))
@@ -134,6 +176,43 @@ class ConstraintSet:
         """The conjunction of the first *length* constraints."""
 
         return ConstraintSet(self._constraints[:length])
+
+    def interned(self) -> "ConstraintSet":
+        """A structurally equal set backed by canonical shared constraints.
+
+        Every prefix of the returned set resolves to the same
+        :class:`Constraint` objects as any other interned set with that
+        prefix — even when this set arrived from another process and shares
+        nothing by identity.  The original set is left untouched; interning
+        is pure canonicalization (the signature, and therefore pending-list
+        dedup, is unchanged).
+        """
+
+        if getattr(self, "_interned", False):
+            return self
+        signature = self.signature()
+        out: List[Constraint] = []
+        parent_key = 0
+        with _INTERN_LOCK:
+            if len(_INTERN_CHAIN) > _INTERN_MAX_ENTRIES:
+                _INTERN_CHAIN.clear()
+            for constraint, entry in zip(self._constraints, signature):
+                key = (parent_key, entry[0], entry[1])
+                canonical = _INTERN_CHAIN.get(key)
+                if canonical is None:
+                    # First time this chain is seen: this set's own
+                    # constraint becomes the canonical one.  Its id stays
+                    # valid for as long as the table holds the reference.
+                    _INTERN_CHAIN[key] = canonical = constraint
+                    _INTERN_STATS["misses"] += 1
+                else:
+                    _INTERN_STATS["hits"] += 1
+                out.append(canonical)
+                parent_key = id(canonical)
+        clone = ConstraintSet(out)
+        clone._signature = (len(out), signature)
+        clone._interned = True
+        return clone
 
     def with_negated_last(self) -> "ConstraintSet":
         """Negate the final constraint (the classic concolic "flip")."""

@@ -21,12 +21,27 @@ Instruction = Tuple[int, object, int, int]
 
 @dataclass
 class CodeObject:
-    """The compiled body of one function."""
+    """The compiled body of one function.
+
+    ``nlocals``/``slot_names`` describe the register-allocated frame layout
+    (see :mod:`repro.lang.resolve`): the frame allocates ``nlocals`` flat
+    slots and ``slot_names[i]`` is the source name living in slot ``i``
+    (names repeat when distinct shadowing variables each got a slot).
+    ``param_slots`` aligns with ``params``: the slot each parameter lands in,
+    or ``None`` for parameters that fall back to the named-cell dict.
+    """
 
     name: str
     params: List[str] = field(default_factory=list)
     instructions: List[Instruction] = field(default_factory=list)
     source_line: int = 0
+    nlocals: int = 0
+    slot_names: List[str] = field(default_factory=list)
+    param_slots: List[Optional[int]] = field(default_factory=list)
+    #: True when every local is slotted: the frame's named-cell dict and
+    #: scope undo log are provably never touched, so calls share one empty
+    #: dict/undo instead of allocating them (see ``_Frame`` in the machine).
+    bare_frame: bool = False
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -36,7 +51,10 @@ class CodeObject:
     def dis(self) -> str:
         """Human-readable disassembly (debugging and documentation aid)."""
 
-        lines = [f"{self.name}({', '.join(self.params)}):"]
+        header = f"{self.name}({', '.join(self.params)}):"
+        if self.nlocals:
+            header += f"  ; nlocals={self.nlocals}"
+        lines = [header]
         for pc, (op, arg, charge, line) in enumerate(self.instructions):
             operand = self._format_arg(op, arg)
             note = f"  ; steps+={charge}" if charge else ""
@@ -44,8 +62,13 @@ class CodeObject:
             lines.append(f"  {pc:4d}  {OPCODE_NAMES.get(op, op):<14}{operand}{note}{src}")
         return "\n".join(lines)
 
-    @staticmethod
-    def _format_arg(op: int, arg: object) -> str:
+    def _slot(self, index: object) -> str:
+        names = self.slot_names
+        if isinstance(index, int) and 0 <= index < len(names):
+            return f"{index} ({names[index]})"
+        return repr(index)
+
+    def _format_arg(self, op: int, arg: object) -> str:
         if arg is None:
             return ""
         if op in (opcodes.BRANCH, opcodes.BRANCH_BARE):
@@ -60,6 +83,25 @@ class CodeObject:
         if op == opcodes.CALL_BUILTIN:
             fn, argc, _node = arg
             return f"{getattr(fn, '__name__', fn)}/{argc}"
+        if op in (opcodes.LOAD_FAST, opcodes.STORE_FAST, opcodes.LOAD_FAST_RET):
+            return self._slot(arg)
+        if op == opcodes.ADDR_FAST:
+            slot, name = arg
+            return f"{slot} (&{name})"
+        if op == opcodes.BINOP_FC:
+            operator, slot, const = arg
+            return f"{operator!r} {self._slot(slot)}, {const!r}"
+        if op == opcodes.BINOP_FF:
+            operator, left, right = arg
+            return f"{operator!r} {self._slot(left)}, {self._slot(right)}"
+        if op == opcodes.BINOP_FC_STORE:
+            operator, slot, const, target = arg
+            return (f"{operator!r} {self._slot(slot)}, {const!r}"
+                    f" -> {self._slot(target)}")
+        if op == opcodes.BINOP_FF_STORE:
+            operator, left, right, target = arg
+            return (f"{operator!r} {self._slot(left)}, {self._slot(right)}"
+                    f" -> {self._slot(target)}")
         return repr(arg)
 
 
@@ -82,6 +124,9 @@ class CompiledProgram:
     globals_code: Optional[CodeObject] = None
     plan_fingerprint: Optional[Tuple] = None
     logged_locations: List[object] = field(default_factory=list)
+    #: RESOLVER_VERSION the slot layout was produced by, or 0 when compiled
+    #: without register allocation (every local on the named-cell path).
+    resolver_version: int = 0
 
     @property
     def main(self) -> CodeObject:

@@ -65,6 +65,13 @@ from repro.lang.ast_nodes import (
 from repro.lang.cfg import branch_location_for
 from repro.lang.errors import SemanticError
 from repro.lang.program import Program
+from repro.lang.resolve import (
+    GLOBAL,
+    RESOLVER_VERSION,
+    SLOT,
+    FunctionResolution,
+    resolve_program,
+)
 from repro.vm import opcodes as op
 from repro.vm.code import CodeObject, CompiledProgram
 
@@ -119,18 +126,26 @@ def _count_event(kind: str) -> None:
         events[kind] += 1
 
 
-def compile_program(program: Program, plan=None) -> CompiledProgram:
-    """Compile *program* for *plan*, caching per ``(program, fingerprint)``.
+def compile_program(program: Program, plan=None,
+                    resolve: bool = True) -> CompiledProgram:
+    """Compile *program* for *plan*, caching per ``(program, key)``.
 
-    ``plan=None`` compiles unspecialized code (cache key ``None``); a plan
-    keys the cache on :meth:`~repro.instrument.plan.InstrumentationPlan.
-    fingerprint`, so specialized code compiled for one plan can never be
-    handed to a run using a different plan — two plans only share code when
-    their instrumented branch sets are identical (in which case the code
-    streams are, too).
+    ``plan=None`` compiles unspecialized branch dispatch; a plan keys the
+    cache on :meth:`~repro.instrument.plan.InstrumentationPlan.fingerprint`,
+    so specialized code compiled for one plan can never be handed to a run
+    using a different plan — two plans only share code when their
+    instrumented branch sets are identical (in which case the code streams
+    are, too).
+
+    ``resolve`` enables register allocation (the static scope-resolution
+    pass of :mod:`repro.lang.resolve`); the cache key incorporates
+    :data:`~repro.lang.resolve.RESOLVER_VERSION` — and whether resolution
+    was enabled at all — so a stale slot layout can never leak into a run
+    compiled under different resolution rules.
     """
 
-    key = None if plan is None else plan.fingerprint()
+    key = (RESOLVER_VERSION if resolve else 0,
+           None if plan is None else plan.fingerprint())
     cache = getattr(program, _CACHE_ATTR, None)
     if cache is None:
         cache = {}
@@ -140,7 +155,7 @@ def compile_program(program: Program, plan=None) -> CompiledProgram:
         _count_event("hits")
         return cached
     _count_event("misses")
-    compiled = Compiler(program, plan=plan).compile()
+    compiled = Compiler(program, plan=plan, resolve=resolve).compile()
     cache[key] = compiled
     return compiled
 
@@ -157,18 +172,32 @@ class _Label:
 class Compiler:
     """Compiles every function of one program (optionally plan-specialized)."""
 
-    def __init__(self, program: Program, plan=None) -> None:
+    def __init__(self, program: Program, plan=None, resolve: bool = True) -> None:
         self.program = program
         self.plan = plan
+        self.resolution = resolve_program(program) if resolve else None
         # Slot table for BRANCH_LOGGED: slot index -> BranchLocation.  The VM
         # keeps one inline execution counter per slot.
         self.logged_locations: List[object] = []
         # Stubs first so recursive and mutual calls can reference callees.
-        self.code_objects: Dict[str, CodeObject] = {
-            name: CodeObject(name=name, params=[p.name for p in fn.params],
-                             source_line=fn.line)
-            for name, fn in program.functions.items()
-        }
+        self.code_objects: Dict[str, CodeObject] = {}
+        for name, fn in program.functions.items():
+            code = CodeObject(name=name, params=[p.name for p in fn.params],
+                              source_line=fn.line)
+            fn_resolution = self._function_resolution(name)
+            if fn_resolution is not None:
+                code.nlocals = fn_resolution.nlocals
+                code.slot_names = list(fn_resolution.slot_names)
+                code.param_slots = list(fn_resolution.param_slots)
+                code.bare_frame = fn_resolution.elide_scopes
+            else:
+                code.param_slots = [None] * len(code.params)
+            self.code_objects[name] = code
+
+    def _function_resolution(self, name: str) -> Optional[FunctionResolution]:
+        if self.resolution is None:
+            return None
+        return self.resolution.for_function(name)
 
     def compile(self) -> CompiledProgram:
         globals_code = CodeObject(name="<globals>")
@@ -180,7 +209,8 @@ class Compiler:
             emitter.compile_vardecl(decl.decl, declare_global=True)
         emitter.finish()
         for name, fn in self.program.functions.items():
-            body_emitter = _FunctionEmitter(self, name, self.code_objects[name])
+            body_emitter = _FunctionEmitter(self, name, self.code_objects[name],
+                                            self._function_resolution(name))
             body_emitter.compile_stmt(fn.body)
             body_emitter.finish()
         return CompiledProgram(name=self.program.name,
@@ -188,18 +218,26 @@ class Compiler:
                                globals_code=globals_code,
                                plan_fingerprint=(None if self.plan is None
                                                  else self.plan.fingerprint()),
-                               logged_locations=self.logged_locations)
+                               logged_locations=self.logged_locations,
+                               resolver_version=(RESOLVER_VERSION
+                                                 if self.resolution is not None
+                                                 else 0))
 
 
 class _FunctionEmitter:
     """Emits the instruction stream of a single function."""
 
     def __init__(self, compiler: Compiler, function_name: str,
-                 code: CodeObject) -> None:
+                 code: CodeObject,
+                 resolution: Optional[FunctionResolution] = None) -> None:
         self.compiler = compiler
         self.function_name = function_name
         self.code = code
         self.instructions = code.instructions
+        self.resolution = resolution
+        # A fully slotted function has no named cells, so scope push/pop
+        # bookkeeping is observationally empty and is not emitted at all.
+        self.elide_scopes = resolution is not None and resolution.elide_scopes
         self.pending = 0
         self.scope_depth = 0
         # (break_label, continue_label, scope_depth) for each enclosing loop.
@@ -208,6 +246,13 @@ class _FunctionEmitter:
         # Instruction indexes some already-bound label points at; peephole
         # fusion must not swallow a jump target.
         self._bound_positions: set = set()
+
+    def _access(self, node) -> tuple:
+        """The resolved access kind of an identifier/declarator node."""
+
+        if self.resolution is None:
+            return ("named",)
+        return self.resolution.access(node.node_id)
 
     # -- emission helpers -------------------------------------------------------
 
@@ -267,6 +312,14 @@ class _FunctionEmitter:
     def compile_stmt(self, stmt: Stmt) -> None:
         self.pending += 1  # the interpreter's _exec_stmt step
         if isinstance(stmt, Block):
+            if self.elide_scopes:
+                # No named cells in this function: the scope would only ever
+                # be pushed and popped empty.  The pending charge flows to
+                # the first instruction of the first child, preserving the
+                # accumulated step totals exactly.
+                for child in stmt.statements:
+                    self.compile_stmt(child)
+                return
             self.emit(op.SCOPE_PUSH)
             self.scope_depth += 1
             for child in stmt.statements:
@@ -314,7 +367,17 @@ class _FunctionEmitter:
                 self.compile_expr(declarator.init)
             else:
                 self.emit(op.CONST, ZERO)
-            self.emit(declare, declarator.name)
+            if declare_global:
+                self.emit(declare, declarator.name)
+                continue
+            access = self._access(declarator)
+            if access[0] == SLOT:
+                # Declaring a slotted variable is just a slot write: the
+                # resolver proved no named cell can alias it, so there is
+                # nothing to shadow or undo.
+                self.emit(op.STORE_FAST, access[1])
+            else:
+                self.emit(declare, declarator.name)
 
     def _compile_if(self, stmt: IfStmt) -> None:
         else_label = self.new_label()
@@ -345,8 +408,9 @@ class _FunctionEmitter:
         self.bind(after)
 
     def _compile_for(self, stmt: ForStmt) -> None:
-        self.emit(op.SCOPE_PUSH)  # absorbs the for-statement charge
-        self.scope_depth += 1
+        if not self.elide_scopes:
+            self.emit(op.SCOPE_PUSH)  # absorbs the for-statement charge
+            self.scope_depth += 1
         if stmt.init is not None:
             self.compile_stmt(stmt.init)
         header = self.new_label()
@@ -365,8 +429,9 @@ class _FunctionEmitter:
             self.compile_stmt(stmt.update)
         self.emit(op.JUMP, header)
         self.bind(after)
-        self.emit(op.SCOPE_POP, 1)
-        self.scope_depth -= 1
+        if not self.elide_scopes:
+            self.emit(op.SCOPE_POP, 1)
+            self.scope_depth -= 1
 
     def _compile_loop_exit(self, stmt: Stmt, is_break: bool) -> None:
         if not self.loops:
@@ -394,7 +459,14 @@ class _FunctionEmitter:
         if keep_value:
             self.emit(op.DUP)
         if isinstance(target, Identifier):
-            if keep_value or not self._fuse_binop_store(target):
+            access = self._access(target)
+            if access[0] == SLOT:
+                slot = access[1]
+                if keep_value or not self._fuse_binop_store_fast(slot):
+                    self.emit(op.STORE_FAST, slot, line=target.line)
+            elif access[0] == GLOBAL:
+                self.emit(op.STORE_GLOBAL, target.name, line=target.line)
+            elif keep_value or not self._fuse_binop_store(target):
                 self.emit(op.STORE, target.name, line=target.line)
         elif isinstance(target, ArrayIndex):
             self.compile_expr(target.base)
@@ -417,7 +489,13 @@ class _FunctionEmitter:
         elif isinstance(node, StringLiteral):
             self.emit(op.STRING, (node.node_id, node.value))
         elif isinstance(node, Identifier):
-            self.emit(op.LOAD, node.name, line=node.line)
+            access = self._access(node)
+            if access[0] == SLOT:
+                self.emit(op.LOAD_FAST, access[1], line=node.line)
+            elif access[0] == GLOBAL:
+                self.emit(op.LOAD_GLOBAL, node.name, line=node.line)
+            else:
+                self.emit(op.LOAD, node.name, line=node.line)
         elif isinstance(node, ArrayIndex):
             self.compile_expr(node.base)
             self.compile_expr(node.index)
@@ -445,7 +523,15 @@ class _FunctionEmitter:
                 self.compile_expr(operand.index)
                 self.emit(op.ADDR_INDEX, line=operand.line)
             elif isinstance(operand, Identifier):
-                self.emit(op.ADDR_NAME, operand.name, line=node.line)
+                access = self._access(operand)
+                if access[0] == SLOT:
+                    self.emit(op.ADDR_FAST, (access[1], operand.name),
+                              line=node.line)
+                else:
+                    # Globals take the legacy chain (frame miss, global hit):
+                    # a slotted local of the same name can never sit in the
+                    # frame dict, so the chain result is exact.
+                    self.emit(op.ADDR_NAME, operand.name, line=node.line)
             else:
                 self.emit(op.ADDR_INVALID, line=node.line)
             return
@@ -482,9 +568,13 @@ class _FunctionEmitter:
 
         These two operand shapes (``i < limit``, ``n - 1``, ``i = i + 1``)
         dominate hot loops; fusing them saves two dispatches per evaluation.
-        Declined when a bound label points between the candidate instructions
-        (a jump could then land mid-pattern) — the step charges of the fused
-        instructions are summed, so the accounting stays exact.
+        Register-allocated operands fuse into the slot-indexed variants
+        (``BINOP_FC``/``BINOP_FF``); mixed slot/named operand pairs are left
+        unfused (three plain dispatches), which is rare outside code that
+        mixes locals with fallback names.  Declined when a bound label points
+        between the candidate instructions (a jump could then land
+        mid-pattern) — the step charges of the fused instructions are summed,
+        so the accounting stays exact.
         """
 
         instructions = self.instructions
@@ -495,20 +585,29 @@ class _FunctionEmitter:
             return False
         first_op, first_arg, first_charge, first_line = instructions[-2]
         second_op, second_arg, second_charge, second_line = instructions[-1]
-        if first_op != op.LOAD or second_op not in (op.CONST, op.LOAD):
+        if first_op == op.LOAD_FAST:
+            if second_op == op.CONST:
+                fused = (op.BINOP_FC, (operator, first_arg, second_arg))
+            elif second_op == op.LOAD_FAST:
+                fused = (op.BINOP_FF, (operator, first_arg, second_arg))
+            else:
+                return False
+        elif first_op == op.LOAD:
+            if second_op == op.CONST:
+                fused = (op.BINOP_NC,
+                         (operator, first_arg, second_arg, first_line))
+            elif second_op == op.LOAD:
+                fused = (op.BINOP_NN,
+                         (operator, first_arg, second_arg,
+                          first_line, second_line))
+            else:
+                return False
+        else:
             return False
         charge = first_charge + second_charge + self.pending
         self.pending = 0
         del instructions[-2:]
-        if second_op == op.CONST:
-            instructions.append((op.BINOP_NC,
-                                 (operator, first_arg, second_arg, first_line),
-                                 charge, line))
-        else:
-            instructions.append((op.BINOP_NN,
-                                 (operator, first_arg, second_arg,
-                                  first_line, second_line),
-                                 charge, line))
+        instructions.append((fused[0], fused[1], charge, line))
         return True
 
     def _fuse_binop_store(self, target: Identifier) -> bool:
@@ -537,6 +636,27 @@ class _FunctionEmitter:
         instructions[-1] = (fused, arg + (target.name,), charge, line)
         return True
 
+    def _fuse_binop_store_fast(self, target_slot: int) -> bool:
+        """Peephole: collapse ``BINOP_F*;STORE_FAST`` (slotted ``i = i + 1``).
+
+        Same label rules as :meth:`_fuse_binop_store`.
+        """
+
+        instructions = self.instructions
+        if not instructions or len(instructions) in self._bound_positions:
+            return False
+        opcode, arg, charge, line = instructions[-1]
+        if opcode == op.BINOP_FC:
+            fused = op.BINOP_FC_STORE
+        elif opcode == op.BINOP_FF:
+            fused = op.BINOP_FF_STORE
+        else:
+            return False
+        charge += self.pending
+        self.pending = 0
+        instructions[-1] = (fused, arg + (target_slot,), charge, line)
+        return True
+
     def _fuse_load_ret(self) -> bool:
         """Peephole: collapse ``LOAD;RET`` (the ``return x;`` shape)."""
 
@@ -544,11 +664,15 @@ class _FunctionEmitter:
         if not instructions or len(instructions) in self._bound_positions:
             return False
         opcode, arg, charge, line = instructions[-1]
-        if opcode != op.LOAD:
+        if opcode == op.LOAD:
+            fused = op.LOAD_RET
+        elif opcode == op.LOAD_FAST:
+            fused = op.LOAD_FAST_RET
+        else:
             return False
         charge += self.pending
         self.pending = 0
-        instructions[-1] = (op.LOAD_RET, arg, charge, line)
+        instructions[-1] = (fused, arg, charge, line)
         return True
 
     def _compile_ternary(self, node: TernaryOp) -> None:

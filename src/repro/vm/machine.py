@@ -46,6 +46,7 @@ from repro.interp.tracer import BranchEvent, ExecutionHooks, NullHooks
 from repro.interp.values import (
     ArrayObject,
     ConcolicValue,
+    ONE,
     Pointer,
     Value,
     ZERO,
@@ -72,23 +73,54 @@ from repro.vm.compiler import compile_program
 
 _MISSING = object()
 
+#: Interned concrete values for the slot superinstructions' inline
+#: arithmetic.  ``ConcolicValue`` is a frozen dataclass — construction costs
+#: more than the arithmetic itself — and immutable, so results in the common
+#: small range (loop counters, comparisons, character codes) share one
+#: instance exactly like the compiler's prebuilt CONST operands do.
+_SMALL_INTS = tuple(ConcolicValue(i) for i in range(1025))
+_NSMALL = len(_SMALL_INTS)
+
+
+#: Shared slot list for frames of functions without register-allocated
+#: locals; never written (STORE_FAST is only emitted when ``nlocals > 0``).
+_NO_SLOTS: List[Value] = []
+
+#: Shared named-cell state for *bare* frames (fully slotted functions):
+#: reachable code in such functions contains no named-cell or scope opcode,
+#: so the dict and undo log are provably never mutated and one empty
+#: instance serves every call.
+_EMPTY_VARS: Dict[str, "Value"] = {}
+_EMPTY_UNDO: List[list] = [[]]
+
 
 class _Frame:
-    """One function invocation: a flat variable dict plus a scope undo log.
+    """One function invocation: numbered slots plus a named-cell dict.
 
-    Declaring a name records the shadowed binding (or its absence) in the
-    innermost scope's undo list; popping the scope replays the list in
-    reverse.  Lookups and stores therefore touch a single dict, while scope
-    semantics (shadowing, implicit locals dying with their block) stay
-    identical to the interpreter's scope-chain walk.
+    Locals the resolution pass (:mod:`repro.lang.resolve`) proved pure live
+    in ``slots`` — a flat list indexed by the slot numbers burned into the
+    instruction stream.  Everything else (fallback names) lives in ``vars``
+    with a scope undo log: declaring a name records the shadowed binding (or
+    its absence) in the innermost scope's undo list; popping the scope
+    replays the list in reverse.  Named lookups and stores therefore touch a
+    single dict, while scope semantics (shadowing, implicit locals dying
+    with their block) stay identical to the interpreter's scope-chain walk.
+    The two stores can never alias: a name is slotted all-or-nothing per
+    function.
     """
 
-    __slots__ = ("function_name", "vars", "undo")
+    __slots__ = ("function_name", "vars", "undo", "slots")
 
-    def __init__(self, function_name: str) -> None:
+    def __init__(self, function_name: str, nlocals: int = 0,
+                 bare: bool = False) -> None:
         self.function_name = function_name
-        self.vars: Dict[str, Value] = {}
-        self.undo: List[list] = [[]]
+        if bare:
+            self.vars = _EMPTY_VARS
+            self.undo = _EMPTY_UNDO
+        else:
+            self.vars = {}
+            self.undo = [[]]
+        self.slots: List[Value] = [None] * nlocals if nlocals else _NO_SLOTS
 
     def declare(self, name: str, value: Value) -> None:
         variables = self.vars
@@ -132,7 +164,8 @@ class VirtualMachine:
         # legacy code whose BRANCH dispatches every event to the hooks.
         self._spec = self._select_specialization()
         plan = getattr(self.hooks, "plan", None) if self._spec else None
-        self.compiled = compile_program(program, plan)
+        self.compiled = compile_program(
+            program, plan, resolve=self.config.register_allocation)
         # Inline state for the specialized branch opcodes.  ``_rec_append``
         # doubles as the record/replay discriminator in the dispatch loop.
         self._rec_append = None
@@ -201,6 +234,10 @@ class VirtualMachine:
             exit_value = self._call_main(list(argv))
             result.exit_code = as_int(exit_value).concrete
         except GUEST_EXCEPTIONS as exc:
+            # The flat dispatch loop does not unwind guest frames on the way
+            # out; reset them so classification sees the interpreter's
+            # fully-unwound state (current function falls back to <global>).
+            del self._frames[:]
             classify_run_exception(result, exc, self.current_function_name())
         if self._spec == "record":
             self.hooks.vm_merge(self.branch_counter,
@@ -227,9 +264,16 @@ class VirtualMachine:
         if len(self._frames) >= self.config.max_call_depth:
             raise ProgramCrash("call stack overflow", line,
                                self.current_function_name())
-        frame = _Frame(code.name)
-        for index, param in enumerate(code.params):
-            frame.vars[param] = args[index] if index < len(args) else ZERO
+        frame = _Frame(code.name, code.nlocals, code.bare_frame)
+        argc = len(args)
+        slots = frame.slots
+        variables = frame.vars
+        for index, slot in enumerate(code.param_slots):
+            value = args[index] if index < argc else ZERO
+            if slot is not None:
+                slots[slot] = value
+            else:
+                variables[code.params[index]] = value
         self._frames.append(frame)
         try:
             return self._exec_code(code, frame)
@@ -255,6 +299,20 @@ class VirtualMachine:
     # -- the dispatch loop ------------------------------------------------------
 
     def _exec_code(self, code: CodeObject, frame: _Frame) -> Value:
+        """Run *code* (and everything it calls) in one flat dispatch loop.
+
+        Guest calls do not recurse into the host: ``CALL`` parks the caller's
+        execution state (instruction stream, pc, operand stack, frame
+        bindings) on ``call_stack`` and switches the loop's locals to the
+        callee; the ``RET`` family pops it back.  One guest call therefore
+        costs a handful of local rebindings instead of a Python function
+        call, a fresh prologue and a try/finally — and host recursion limits
+        no longer shadow the guest's ``max_call_depth``.  On a guest
+        exception the loop simply unwinds out; :meth:`run` resets
+        ``self._frames`` before classifying, matching the interpreter's
+        fully unwound state.
+        """
+
         instructions = code.instructions
         end = len(instructions)
         stack: List[Value] = []
@@ -262,9 +320,18 @@ class VirtualMachine:
         pop = stack.pop
         step_cell = self._steps
         max_steps = self.config.max_steps
+        max_call_depth = self.config.max_call_depth
         global_vars = self.globals
+        frames = self._frames
         frame_vars = frame.vars
+        frame_slots = frame.slots
         hooks = self.hooks
+        # Parked caller states: (instructions, end, pc, stack, push, pop,
+        # frame, frame_vars, frame_slots) per active guest call.
+        call_stack: List[tuple] = []
+        # Exactly-NullHooks runs observe no branch events at all, so the
+        # unspecialized BRANCH can skip building them (counters still tick).
+        null_hooks = type(hooks) is NullHooks
         # Plan-specialized inline state (None / empty when unspecialized).
         rec_append = self._rec_append
         slot_counts = self._slot_counts
@@ -281,7 +348,9 @@ class VirtualMachine:
                 if total > max_steps:
                     raise StepLimitExceeded("interpreter step budget exhausted",
                                             line)
-            if opcode == op.LOAD:
+            if opcode == op.LOAD_FAST:
+                push(frame_slots[arg])
+            elif opcode == op.LOAD:
                 value = frame_vars.get(arg, _MISSING)
                 if value is _MISSING:
                     value = global_vars.get(arg, _MISSING)
@@ -291,12 +360,227 @@ class VirtualMachine:
                 push(value)
             elif opcode == op.CONST:
                 push(arg)
+            # The four slot superinstructions inline the fully concrete
+            # arithmetic of the hot operators (comparison results and small
+            # sums reuse interned values; binary_int_op would build the same
+            # frozen dataclass from scratch).  Symbolic operands, pointers
+            # and the rare operators take the shared helpers, so results are
+            # identical by construction.
+            elif opcode == op.BINOP_FC:
+                operator, slot, right = arg
+                left = frame_slots[slot]
+                if (type(left) is ConcolicValue and left.symbolic is None
+                        and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "<":
+                        push(ONE if a < b else ZERO)
+                        continue
+                    if operator == "+":
+                        r = a + b
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                        continue
+                    if operator == "-":
+                        r = a - b
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                        continue
+                    if operator == ">":
+                        push(ONE if a > b else ZERO)
+                        continue
+                    if operator == "==":
+                        push(ONE if a == b else ZERO)
+                        continue
+                    if operator == "!=":
+                        push(ONE if a != b else ZERO)
+                        continue
+                    if operator == "<=":
+                        push(ONE if a <= b else ZERO)
+                        continue
+                    if operator == ">=":
+                        push(ONE if a >= b else ZERO)
+                        continue
+                    if operator == "*":
+                        r = a * b
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                        continue
+                if type(left) is ConcolicValue:
+                    try:
+                        push(binary_int_op(operator, left, right))
+                    except ZeroDivisionError:
+                        raise DivisionByZeroError("division by zero", line)
+                else:
+                    push(pointer_binary_op(operator, left, right, line))
+            elif opcode == op.BINOP_FF:
+                operator, left_slot, right_slot = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if (type(left) is ConcolicValue
+                        and type(right) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "<":
+                        push(ONE if a < b else ZERO)
+                        continue
+                    if operator == "+":
+                        r = a + b
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                        continue
+                    if operator == "-":
+                        r = a - b
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                        continue
+                    if operator == ">":
+                        push(ONE if a > b else ZERO)
+                        continue
+                    if operator == "==":
+                        push(ONE if a == b else ZERO)
+                        continue
+                    if operator == "!=":
+                        push(ONE if a != b else ZERO)
+                        continue
+                    if operator == "<=":
+                        push(ONE if a <= b else ZERO)
+                        continue
+                    if operator == ">=":
+                        push(ONE if a >= b else ZERO)
+                        continue
+                    if operator == "*":
+                        r = a * b
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                        continue
+                if type(left) is ConcolicValue and type(right) is ConcolicValue:
+                    try:
+                        push(binary_int_op(operator, left, right))
+                    except ZeroDivisionError:
+                        raise DivisionByZeroError("division by zero", line)
+                else:
+                    push(pointer_binary_op(operator, left, right, line))
+            elif opcode == op.BINOP_FC_STORE:
+                operator, slot, right, target_slot = arg
+                left = frame_slots[slot]
+                if (type(left) is ConcolicValue and left.symbolic is None
+                        and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "+":
+                        r = a + b
+                        frame_slots[target_slot] = (
+                            _SMALL_INTS[r] if 0 <= r < _NSMALL
+                            else ConcolicValue(r))
+                        continue
+                    if operator == "-":
+                        r = a - b
+                        frame_slots[target_slot] = (
+                            _SMALL_INTS[r] if 0 <= r < _NSMALL
+                            else ConcolicValue(r))
+                        continue
+                    if operator == "*":
+                        r = a * b
+                        frame_slots[target_slot] = (
+                            _SMALL_INTS[r] if 0 <= r < _NSMALL
+                            else ConcolicValue(r))
+                        continue
+                    if operator == "<":
+                        frame_slots[target_slot] = ONE if a < b else ZERO
+                        continue
+                    if operator == ">":
+                        frame_slots[target_slot] = ONE if a > b else ZERO
+                        continue
+                    if operator == "==":
+                        frame_slots[target_slot] = ONE if a == b else ZERO
+                        continue
+                    if operator == "!=":
+                        frame_slots[target_slot] = ONE if a != b else ZERO
+                        continue
+                    if operator == "<=":
+                        frame_slots[target_slot] = ONE if a <= b else ZERO
+                        continue
+                    if operator == ">=":
+                        frame_slots[target_slot] = ONE if a >= b else ZERO
+                        continue
+                if type(left) is ConcolicValue:
+                    try:
+                        frame_slots[target_slot] = binary_int_op(operator,
+                                                                 left, right)
+                    except ZeroDivisionError:
+                        raise DivisionByZeroError("division by zero", line)
+                else:
+                    frame_slots[target_slot] = pointer_binary_op(
+                        operator, left, right, line)
+            elif opcode == op.BINOP_FF_STORE:
+                operator, left_slot, right_slot, target_slot = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if (type(left) is ConcolicValue
+                        and type(right) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "+":
+                        r = a + b
+                        frame_slots[target_slot] = (
+                            _SMALL_INTS[r] if 0 <= r < _NSMALL
+                            else ConcolicValue(r))
+                        continue
+                    if operator == "-":
+                        r = a - b
+                        frame_slots[target_slot] = (
+                            _SMALL_INTS[r] if 0 <= r < _NSMALL
+                            else ConcolicValue(r))
+                        continue
+                    if operator == "*":
+                        r = a * b
+                        frame_slots[target_slot] = (
+                            _SMALL_INTS[r] if 0 <= r < _NSMALL
+                            else ConcolicValue(r))
+                        continue
+                    if operator == "<":
+                        frame_slots[target_slot] = ONE if a < b else ZERO
+                        continue
+                    if operator == ">":
+                        frame_slots[target_slot] = ONE if a > b else ZERO
+                        continue
+                    if operator == "==":
+                        frame_slots[target_slot] = ONE if a == b else ZERO
+                        continue
+                    if operator == "!=":
+                        frame_slots[target_slot] = ONE if a != b else ZERO
+                        continue
+                    if operator == "<=":
+                        frame_slots[target_slot] = ONE if a <= b else ZERO
+                        continue
+                    if operator == ">=":
+                        frame_slots[target_slot] = ONE if a >= b else ZERO
+                        continue
+                if type(left) is ConcolicValue and type(right) is ConcolicValue:
+                    try:
+                        frame_slots[target_slot] = binary_int_op(operator,
+                                                                 left, right)
+                    except ZeroDivisionError:
+                        raise DivisionByZeroError("division by zero", line)
+                else:
+                    frame_slots[target_slot] = pointer_binary_op(
+                        operator, left, right, line)
+            elif opcode == op.STORE_FAST:
+                frame_slots[arg] = pop()
             elif opcode == op.BINOP_NC:
                 operator, name, right, load_line = arg
                 left = frame_vars.get(name, _MISSING)
                 if left is _MISSING:
                     left = global_vars.get(name, _MISSING)
                     if left is _MISSING:
+                        # The fused charge pre-paid the right operand's step,
+                        # which the interpreter never reaches when the left
+                        # name is undefined; refund it so the step counts of
+                        # the crash agree.
+                        step_cell[0] -= 1
                         raise RuntimeMiniCError(f"undefined variable '{name}'",
                                                 load_line)
                 if type(left) is ConcolicValue:
@@ -312,6 +596,9 @@ class VirtualMachine:
                 if left is _MISSING:
                     left = global_vars.get(left_name, _MISSING)
                     if left is _MISSING:
+                        # Refund the right operand's pre-paid step (the
+                        # interpreter crashes before evaluating it).
+                        step_cell[0] -= 1
                         raise RuntimeMiniCError(
                             f"undefined variable '{left_name}'", left_line)
                 right = frame_vars.get(right_name, _MISSING)
@@ -333,6 +620,11 @@ class VirtualMachine:
                 if left is _MISSING:
                     left = global_vars.get(name, _MISSING)
                     if left is _MISSING:
+                        # The fused charge pre-paid the right operand's step,
+                        # which the interpreter never reaches when the left
+                        # name is undefined; refund it so the step counts of
+                        # the crash agree.
+                        step_cell[0] -= 1
                         raise RuntimeMiniCError(f"undefined variable '{name}'",
                                                 load_line)
                 if type(left) is ConcolicValue:
@@ -355,6 +647,9 @@ class VirtualMachine:
                 if left is _MISSING:
                     left = global_vars.get(left_name, _MISSING)
                     if left is _MISSING:
+                        # Refund the right operand's pre-paid step (the
+                        # interpreter crashes before evaluating it).
+                        step_cell[0] -= 1
                         raise RuntimeMiniCError(
                             f"undefined variable '{left_name}'", left_line)
                 right = frame_vars.get(right_name, _MISSING)
@@ -395,6 +690,13 @@ class VirtualMachine:
                 else:
                     taken = as_int(value).concrete != 0
                     symbolic = False
+                if null_hooks:
+                    self.branch_counter += 1
+                    if symbolic:
+                        self.symbolic_branch_counter += 1
+                    if not taken:
+                        pc = target
+                    continue
                 condition = None
                 if symbolic:
                     expr = as_condition(value.symbolic)
@@ -501,28 +803,49 @@ class VirtualMachine:
                 push(fn(self, args, node))
             elif opcode == op.CALL:
                 callee, argc = arg
-                frames = self._frames
-                if len(frames) >= self.config.max_call_depth:
+                if len(frames) >= max_call_depth:
                     raise ProgramCrash("call stack overflow", line,
                                        self.current_function_name())
-                callee_frame = _Frame(callee.name)
-                callee_vars = callee_frame.vars
-                if argc:
-                    args = stack[-argc:]
-                    del stack[-argc:]
+                param_slots = callee.param_slots
+                callee_frame = _Frame(callee.name, callee.nlocals,
+                                      callee.bare_frame)
+                callee_slots = callee_frame.slots
+                if callee.bare_frame and argc == len(param_slots):
+                    # Fast path: a fully slotted callee's parameters occupy
+                    # slots 0..n-1 in declaration order (resolution creates
+                    # them first), so the arguments drop straight in.
+                    if argc:
+                        callee_slots[:argc] = stack[-argc:]
+                        del stack[-argc:]
                 else:
-                    args = []
-                # Parameters live in the frame's base scope, which is never
-                # popped (RET discards the frame), so they bypass the undo log.
-                for index, param in enumerate(callee.params):
-                    callee_vars[param] = (args[index] if index < len(args)
-                                          else ZERO)
+                    if argc:
+                        args = stack[-argc:]
+                        del stack[-argc:]
+                    else:
+                        args = []
+                    callee_vars = callee_frame.vars
+                    # Parameters live in their slots, or — for fallback
+                    # names — in the frame's base scope, which is never
+                    # popped (RET discards the frame), so they bypass the
+                    # undo log.
+                    for index, slot in enumerate(param_slots):
+                        value = args[index] if index < argc else ZERO
+                        if slot is not None:
+                            callee_slots[slot] = value
+                        else:
+                            callee_vars[callee.params[index]] = value
+                call_stack.append((instructions, end, pc, stack, push, pop,
+                                   frame, frame_vars, frame_slots))
                 frames.append(callee_frame)
-                try:
-                    value = self._exec_code(callee, callee_frame)
-                finally:
-                    frames.pop()
-                push(value)
+                frame = callee_frame
+                frame_vars = callee_frame.vars
+                frame_slots = callee_slots
+                instructions = callee.instructions
+                end = len(instructions)
+                stack = []
+                push = stack.append
+                pop = stack.pop
+                pc = 0
             elif opcode == op.SCOPE_PUSH:
                 frame.undo.append([])
             elif opcode == op.SCOPE_POP:
@@ -532,7 +855,21 @@ class VirtualMachine:
             elif opcode == op.DUP:
                 push(stack[-1])
             elif opcode == op.RET:
-                return pop()
+                value = pop()
+                if not call_stack:
+                    return value
+                frames.pop()
+                (instructions, end, pc, stack, push, pop,
+                 frame, frame_vars, frame_slots) = call_stack.pop()
+                push(value)
+            elif opcode == op.LOAD_FAST_RET:
+                value = frame_slots[arg]
+                if not call_stack:
+                    return value
+                frames.pop()
+                (instructions, end, pc, stack, push, pop,
+                 frame, frame_vars, frame_slots) = call_stack.pop()
+                push(value)
             elif opcode == op.LOAD_RET:
                 value = frame_vars.get(arg, _MISSING)
                 if value is _MISSING:
@@ -540,7 +877,12 @@ class VirtualMachine:
                     if value is _MISSING:
                         raise RuntimeMiniCError(f"undefined variable '{arg}'",
                                                 line)
-                return value
+                if not call_stack:
+                    return value
+                frames.pop()
+                (instructions, end, pc, stack, push, pop,
+                 frame, frame_vars, frame_slots) = call_stack.pop()
+                push(value)
             elif opcode == op.UNARY:
                 value = pop()
                 if type(value) is Pointer:
@@ -618,6 +960,27 @@ class VirtualMachine:
                     raise ProgramCrash("pointer store out of bounds", line,
                                        self.current_function_name())
                 pointer.block.cells[pointer.offset] = value
+            elif opcode == op.LOAD_GLOBAL:
+                value = global_vars.get(arg, _MISSING)
+                if value is _MISSING:
+                    raise RuntimeMiniCError(f"undefined variable '{arg}'",
+                                            line)
+                push(value)
+            elif opcode == op.STORE_GLOBAL:
+                global_vars[arg] = pop()
+            elif opcode == op.ADDR_FAST:
+                slot, name = arg
+                value = frame_slots[slot]
+                if isinstance(value, Pointer):
+                    push(value)
+                else:
+                    # Box the scalar and rebind the slot, exactly like
+                    # ADDR_NAME does for named cells.
+                    box = ArrayObject(1, label=f"&{name}")
+                    box.cells[0] = value
+                    boxed = Pointer(box, 0)
+                    frame_slots[slot] = boxed
+                    push(boxed)
             elif opcode == op.ADDR_NAME:
                 value = frame_vars.get(arg, _MISSING)
                 from_globals = False
@@ -670,4 +1033,8 @@ class VirtualMachine:
                 pass
             else:  # pragma: no cover - the compiler emits no other opcodes
                 raise RuntimeMiniCError(f"unknown opcode {opcode}", line)
+        # Only reachable if a code object lacks the CONST;RET terminator the
+        # compiler always emits.
+        if call_stack:  # pragma: no cover
+            raise RuntimeMiniCError("code object missing its terminator", 0)
         return ZERO

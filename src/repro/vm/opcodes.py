@@ -80,6 +80,23 @@ INVALID_TARGET = 30  # runtime "invalid assignment target" error
 SCOPE_PUSH = 31    # open a lexical scope in the current frame
 SCOPE_POP = 32     # arg: count — close that many scopes (break/continue exits)
 
+# Register-allocated locals ---------------------------------------------------
+# Emitted when the static resolution pass (repro.lang.resolve) proves an
+# identifier denotes one specific local variable on every execution; the
+# variable then lives in a numbered frame slot (a flat Python list) instead
+# of the scope dict.  Slot loads can never fail: resolution guarantees the
+# slot was written on every path reaching the load.
+LOAD_FAST = 40       # arg: slot — push frame.slots[slot]
+STORE_FAST = 41      # arg: slot — pop into frame.slots[slot] (also declares)
+LOAD_FAST_RET = 42   # arg: slot — fused LOAD_FAST;RET (the `return x;` shape)
+LOAD_GLOBAL = 43     # arg: name — resolved-global read (one dict probe)
+STORE_GLOBAL = 44    # arg: name — resolved-global write
+ADDR_FAST = 45       # arg: (slot, name) — address of a slotted variable
+BINOP_FC = 46        # arg: (op, slot, const) — fused LOAD_FAST;CONST;BINARY
+BINOP_FF = 47        # arg: (op, slot1, slot2) — fused LOAD_FAST;LOAD_FAST;BINARY
+BINOP_FC_STORE = 48  # arg: (op, slot, const, target_slot) — ...;STORE_FAST
+BINOP_FF_STORE = 49  # arg: (op, slot1, slot2, target_slot) — ...;STORE_FAST
+
 OPCODE_NAMES = {
     value: name
     for name, value in sorted(globals().items())

@@ -16,7 +16,7 @@ from repro import (
 )
 from repro.replay.engine import ReplayEngine
 from repro.replay.pending import PendingItem
-from repro.symbolic.constraints import ConstraintSet
+from repro.symbolic.constraints import ConstraintSet, intern_stats
 from repro.symbolic.expr import sym_bin, sym_const, sym_var
 from repro.symbolic.solver import solve, warm_start_assignment
 from repro.workloads import diffutil, userver
@@ -122,6 +122,66 @@ class TestProcessPoolDeterminism:
                [str(c.expr) for c in item.constraints]
 
 
+class TestConstraintInterning:
+    @staticmethod
+    def _chain(length):
+        constraints = ConstraintSet()
+        for index in range(length):
+            constraints.add_expr(
+                sym_bin("<", sym_var(f"byte_{index}", 0, 255),
+                        sym_const(100 + index)),
+                origin=index + 1)
+        return constraints
+
+    def test_prefix_sharing_restored_after_pickle(self):
+        """Interned sets with equal prefixes share Constraint objects."""
+
+        base = self._chain(12)
+        alternatives = [base.prefix(k).with_negated_last()
+                        for k in range(1, 13)]
+        # Each item crosses the process boundary on its own (that is how the
+        # pool submits them), so identity sharing is destroyed ...
+        clones = [pickle.loads(pickle.dumps(PendingItem(constraints=a)))
+                  for a in alternatives]
+        assert clones[10].constraints[0] is not clones[11].constraints[0]
+        # ... and interning restores it.
+        interned = [item.constraints.interned() for item in clones]
+        assert interned[10][0] is interned[11][0]
+        assert interned[3][2] is interned[11][2]
+        # Canonicalization never changes the structural identity.
+        for item, canonical in zip(clones, interned):
+            assert canonical.signature() == item.constraints.signature()
+
+    def test_interning_shrinks_pickled_pending_payload(self):
+        """The pickled batch of prefix-sharing items gets smaller."""
+
+        base = self._chain(16)
+        alternatives = [base.prefix(k).with_negated_last()
+                        for k in range(1, 17)]
+        unshared = [pickle.loads(pickle.dumps(a)) for a in alternatives]
+        interned = [a.interned() for a in unshared]
+        payload_unshared = len(pickle.dumps(unshared))
+        payload_interned = len(pickle.dumps(interned))
+        # Shared prefixes are stored once instead of per item: the payload
+        # the engine ships to (and keeps queued for) its workers shrinks
+        # substantially for prefix-heavy pending lists.
+        assert payload_interned < payload_unshared * 0.6, (
+            payload_interned, payload_unshared)
+
+    def test_engine_interns_committed_alternatives(self):
+        pipeline, recording = record_for(mkdir.SOURCE, mkdir.bug_scenario(),
+                                         frozenset())
+        before = intern_stats()
+        outcome = search(pipeline, recording, workers=1, worker_kind="thread")
+        assert outcome.reproduced
+        after = intern_stats()
+        # The search pushed prefix-sharing alternatives through the intern
+        # table (misses populate chains, hits mean sharing happened; a
+        # table warmed by earlier searches answers everything with hits).
+        assert (after["hits"] + after["misses"]
+                > before["hits"] + before["misses"])
+
+
 class TestWarmStart:
     def test_differential_against_solver(self):
         """warm_start_assignment must return exactly solve()'s answer or None."""
@@ -206,3 +266,36 @@ class TestTwoProcessEndToEnd:
             capture_output=True, text=True, env=env, timeout=120)
         assert mismatch.returncode == 2
         assert "matched binaries" in mismatch.stderr
+        assert "Traceback" not in mismatch.stderr
+        assert mismatch.stderr.strip().count("\n") == 0
+
+    def test_corrupted_trace_fails_with_one_line_reason(self, tmp_path):
+        """A damaged trace file exits 2 with a single-line reason, never a
+        traceback."""
+
+        tool = os.path.join(REPO_ROOT, "scripts", "trace_tool.py")
+        trace_path = str(tmp_path / "mkdir.trace")
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        record = subprocess.run(
+            [sys.executable, tool, "record", "--workload", "mkdir-bug",
+             "--out", trace_path],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert record.returncode == 0, record.stderr
+
+        data = open(trace_path, "rb").read()
+        truncated = str(tmp_path / "truncated.trace")
+        with open(truncated, "wb") as handle:
+            handle.write(data[:len(data) // 2])
+        flipped = str(tmp_path / "flipped.trace")
+        with open(flipped, "wb") as handle:
+            handle.write(data[:40] + bytes([data[40] ^ 0xFF]) + data[41:])
+
+        for damaged in (truncated, flipped):
+            replay = subprocess.run(
+                [sys.executable, tool, "replay", "--trace", damaged,
+                 "--workload", "mkdir-bug"],
+                capture_output=True, text=True, env=env, timeout=120)
+            assert replay.returncode == 2, damaged
+            assert "error: TraceFormatError:" in replay.stderr
+            assert "Traceback" not in replay.stderr
+            assert replay.stderr.strip().count("\n") == 0, replay.stderr

@@ -296,12 +296,21 @@ def test_superinstructions_emitted():
         }
     """
     program = Program.from_source(source, name="fusion-probe")
+    # With register allocation (the default) every local here is slotted, so
+    # the fused shapes come out in their slot-indexed variants ...
     compiled = compile_program(program)
     opcodes = [instr[0] for code in compiled.functions.values()
                for instr in code.instructions]
-    assert op.BINOP_NC_STORE in opcodes  # i = i + 1
-    assert op.BINOP_NN_STORE in opcodes  # total = total + i
-    assert op.LOAD_RET in opcodes        # return r;
+    assert op.BINOP_FC_STORE in opcodes   # i = i + 1
+    assert op.BINOP_FF_STORE in opcodes   # total = total + i
+    assert op.LOAD_FAST_RET in opcodes    # return r;
+    # ... and on the named-cell path (resolution disabled) in the legacy ones.
+    unresolved = compile_program(program, resolve=False)
+    named = [instr[0] for code in unresolved.functions.values()
+             for instr in code.instructions]
+    assert op.BINOP_NC_STORE in named
+    assert op.BINOP_NN_STORE in named
+    assert op.LOAD_RET in named
 
 
 # ---------------------------------------------------------------------------
