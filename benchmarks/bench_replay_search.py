@@ -20,7 +20,7 @@ pool's pickling overhead cannot be amortized) and can be disabled with
 
 import os
 
-from repro.experiments import print_table, replay_search_exp
+from repro.experiments import print_table, replay_search_exp, service_exp
 from benchmarks.conftest import run_once
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
@@ -33,8 +33,18 @@ def test_replay_search_speedup(benchmark):
     rows = run_once(benchmark, replay_search_exp.search_rows,
                     smoke=SMOKE, repeats=1 if SMOKE else 2)
     print_table(rows, "Replay search - register-allocated process pool vs PR 1-3")
-    artifact = replay_search_exp.write_artifact(rows)
+    # The batch-inbox scenario: spool duplicated bug reports through the
+    # service layer; its rows assert the dedup contract (D searches for D
+    # clusters, fan-out, byte-identity vs single-shot) internally and record
+    # traces/sec + dedup ratio into the artifact.
+    inbox_rows = service_exp.inbox_rows(smoke=SMOKE)
+    print_table(inbox_rows, "Batch inbox - dedup ratio and traces/sec")
+    artifact = replay_search_exp.write_artifact(rows, inbox_rows=inbox_rows)
     print(f"wrote {artifact}")
+    for row in inbox_rows:
+        assert row["reproduced"], f"{row['scenario']}: a cluster failed"
+        assert row["searches_run"] == row["clusters"]
+        assert row["dedup_ratio"] > 1.0, "batch carried no duplicates"
 
     by_key = {(row["scenario"], row["configuration"]): row for row in rows}
     scenarios = {row["scenario"] for row in rows}

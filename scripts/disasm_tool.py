@@ -29,18 +29,12 @@ from collections import Counter
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.instrument.methods import InstrumentationMethod  # noqa: E402
-from repro.core.config import PipelineConfig  # noqa: E402
-from repro.core.pipeline import Pipeline  # noqa: E402
 from repro.lang.resolve import resolve_program  # noqa: E402
+from repro.service import workload_pipeline  # noqa: E402
 from repro.vm.code import CompiledProgram  # noqa: E402
 from repro.vm.compiler import compile_program  # noqa: E402
 from repro.vm.opcodes import OPCODE_NAMES  # noqa: E402
-from repro.workloads import all_cases, library_functions_for  # noqa: E402
-
-
-def registry():
-    return {name: (source, environment, library_functions_for(source))
-            for name, source, environment in all_cases()}
+from repro.workloads import workload_registry  # noqa: E402
 
 
 def summarize(compiled: CompiledProgram) -> str:
@@ -77,15 +71,12 @@ def main(argv=None) -> int:
                         help="frame layouts and opcode histograms only")
     args = parser.parse_args(argv)
 
-    table = registry()
+    table = workload_registry()
     if args.workload not in table:
         print(f"unknown workload {args.workload!r}; choose one of: "
               f"{', '.join(sorted(table))}", file=sys.stderr)
         return 2
-    source, environment, library = table[args.workload]
-    pipeline = Pipeline.from_source(
-        source, name=args.workload,
-        config=PipelineConfig(library_functions=set(library)))
+    pipeline, environment = workload_pipeline(args.workload)
     program = pipeline.program
 
     plan = None

@@ -1,12 +1,9 @@
 #!/usr/bin/env python
 """Record a workload crash to a trace file, or reproduce one from a file.
 
-This is the command-line face of the paper's user/developer split: ``record``
-plays the user machine (instrument, run, crash, write the compact bug report)
-and ``replay`` plays the developer machine (load the bug report, check the
-matched-binaries fingerprint, run the guided search).  The two halves are
-designed to run in *different processes* — the end-to-end test drives them as
-separate interpreter invocations::
+Thin wrapper over the packaged service CLI (:mod:`repro.service.cli`, also
+reachable as ``python -m repro``), kept at this path for the documented
+two-process workflow::
 
     PYTHONPATH=src python scripts/trace_tool.py record \
         --workload diff-exp1 --out /tmp/diff.trace
@@ -14,159 +11,20 @@ separate interpreter invocations::
         --trace /tmp/diff.trace --workload diff-exp1 --workers 4 \
         --worker-kind process
 
+The fleet-scale half lives in the ``inbox`` and ``serve-batch`` subcommands
+(batch ingestion + ``(fingerprint, crash site)`` dedup — see the README's
+"Service API" section).
+
 Exit codes: 0 success (replay: crash reproduced), 1 replay search failed,
 2 usage / trace-format / fingerprint errors.
 """
 
-from __future__ import annotations
-
-import argparse
-import json
 import os
 import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro import (  # noqa: E402
-    InstrumentationMethod,
-    Pipeline,
-    PipelineConfig,
-    ReplayBudget,
-    TraceError,
-    load_trace,
-)
-from repro.workloads import all_cases, library_functions_for  # noqa: E402
-
-#: Methods whose plans rebuild deterministically without any pre-deployment
-#: analysis; for these ``replay`` re-derives the developer-side plan and
-#: checks its fingerprint against the trace (the strict matched-binaries
-#: check).  Analysis-based plans are still guarded by the program-level
-#: branch-location check in ``ReplayEngine.from_trace``.
-_ANALYSIS_FREE = {InstrumentationMethod.ALL_BRANCHES.value,
-                  InstrumentationMethod.NONE.value}
-
-
-def registry():
-    """Workload name -> (source, environment, library functions)."""
-
-    table = {}
-    for name, source, environment in all_cases():
-        table[name] = (source, environment, library_functions_for(source))
-    return table
-
-
-def make_pipeline(name, source, library, args):
-    config = PipelineConfig(backend=args.backend,
-                            library_functions=set(library))
-    if hasattr(args, "workers"):
-        config.replay_workers = args.workers
-        config.replay_worker_kind = args.worker_kind
-        config.replay_warm_start = not args.no_warm_start
-    return Pipeline.from_source(source, name=name, config=config)
-
-
-def cmd_list(_args) -> int:
-    for name in sorted(registry()):
-        print(name)
-    return 0
-
-
-def cmd_record(args) -> int:
-    table = registry()
-    if args.workload not in table:
-        print(f"unknown workload {args.workload!r}; see `trace_tool.py list`",
-              file=sys.stderr)
-        return 2
-    source, environment, library = table[args.workload]
-    pipeline = make_pipeline(args.workload, source, library, args)
-    method = InstrumentationMethod(args.method)
-    plan = pipeline.make_plan(method, environment=environment)
-    recording = pipeline.record_trace(plan, environment, args.out,
-                                      scaffold=not args.keep_input_data)
-    crash = recording.crash_site
-    print(f"recorded {args.workload} -> {args.out}")
-    print(f"  bits={len(recording.bitvector)} "
-          f"syscall_results={recording.syscall_log.count()} "
-          f"crash={crash.function + ':' + str(crash.line) if crash else 'none'}")
-    return 0
-
-
-def cmd_info(args) -> int:
-    trace = load_trace(args.trace)
-    print(json.dumps(trace.describe(), indent=2, sort_keys=True))
-    return 0
-
-
-def cmd_replay(args) -> int:
-    table = registry()
-    if args.workload not in table:
-        print(f"unknown workload {args.workload!r}; see `trace_tool.py list`",
-              file=sys.stderr)
-        return 2
-    source, _environment, library = table[args.workload]
-    pipeline = make_pipeline(args.workload, source, library, args)
-    trace = load_trace(args.trace)
-    expect_plan = None
-    if trace.plan.method in _ANALYSIS_FREE:
-        expect_plan = pipeline.make_plan(InstrumentationMethod(trace.plan.method))
-    budget = ReplayBudget(max_runs=args.max_runs, max_seconds=args.max_seconds)
-    report = pipeline.reproduce_from_trace(trace, budget=budget,
-                                           expect_plan=expect_plan)
-    outcome = report.outcome
-    print(f"replay of {args.trace} ({trace.scenario}, method={trace.plan.method}): "
-          f"{outcome.summary()}")
-    print(f"  stats={json.dumps(outcome.stats(), sort_keys=True)}")
-    if outcome.reproduced:
-        print(f"  crash={outcome.crash_site.function}:{outcome.crash_site.line}")
-        shown = dict(sorted(outcome.found_input.items())[:12])
-        print(f"  input ({len(outcome.found_input)} vars, first 12): {shown}")
-    return 0 if outcome.reproduced else 1
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("list", help="list recordable workload scenarios")
-
-    record = sub.add_parser("record", help="run a workload and write a trace file")
-    record.add_argument("--workload", required=True)
-    record.add_argument("--out", required=True)
-    record.add_argument("--method", default=InstrumentationMethod.ALL_BRANCHES.value,
-                        choices=[m.value for m in InstrumentationMethod])
-    record.add_argument("--backend", default="vm", choices=["interp", "vm"])
-    record.add_argument("--keep-input-data", action="store_true",
-                        help="store real input bytes instead of the privacy scaffold")
-
-    info = sub.add_parser("info", help="print a trace file's summary")
-    info.add_argument("--trace", required=True)
-
-    replay = sub.add_parser("replay", help="reproduce a crash from a trace file")
-    replay.add_argument("--trace", required=True)
-    replay.add_argument("--workload", required=True,
-                        help="the developer's copy of the program")
-    replay.add_argument("--backend", default="vm", choices=["interp", "vm"])
-    replay.add_argument("--workers", type=int, default=1)
-    replay.add_argument("--worker-kind", default="thread",
-                        choices=["thread", "process"])
-    replay.add_argument("--no-warm-start", action="store_true")
-    replay.add_argument("--max-runs", type=int, default=3000)
-    replay.add_argument("--max-seconds", type=float, default=120.0)
-
-    args = parser.parse_args(argv)
-    handler = {"list": cmd_list, "record": cmd_record,
-               "info": cmd_info, "replay": cmd_replay}[args.command]
-    try:
-        return handler(args)
-    except TraceError as exc:
-        # Bad trace files and mismatched binaries are user-facing outcomes,
-        # not tool bugs: report a one-line reason and a distinct exit code
-        # instead of a traceback (TraceFormatError covers corruption and
-        # version skew, TraceFingerprintMismatch unmatched binaries).
-        reason = " ".join(str(exc).split())
-        print(f"error: {type(exc).__name__}: {reason}", file=sys.stderr)
-        return 2
-
+from repro.service.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -7,7 +7,8 @@ interpreter) on top of which the paper's contribution is implemented: the
 dynamic/static/combined branch-instrumentation methods, the bitvector branch
 logger, and the bitvector-guided replay (bug reproduction) engine.
 
-The most convenient entry point is :class:`repro.Pipeline`::
+The most convenient entry point for a single program is
+:class:`repro.Pipeline`::
 
     from repro import InstrumentationMethod, Pipeline
     from repro.environment import simple_environment
@@ -19,6 +20,11 @@ The most convenient entry point is :class:`repro.Pipeline`::
     plan = pipeline.make_plan(InstrumentationMethod.DYNAMIC_PLUS_STATIC, analysis)
     recording = pipeline.record(plan, env)
     report = pipeline.reproduce(recording)
+
+For batches of shipped bug reports — ingestion, ``(fingerprint, crash
+site)`` deduplication and scheduled replay searches — use the service layer
+(:class:`repro.ReproService` / :class:`repro.ReproConfig`, see
+:mod:`repro.service`); ``python -m repro`` is its command-line face.
 """
 
 from repro.core.config import ConcolicBudget, PipelineConfig, ReplayBudget
@@ -33,6 +39,15 @@ from repro.core.results import (
 from repro.environment import Environment, simple_environment
 from repro.instrument.methods import InstrumentationMethod
 from repro.instrument.plan import InstrumentationPlan
+from repro.service import (
+    IngestResult,
+    ReproConfig,
+    ReproService,
+    ReproSession,
+    ReproductionReport,
+    ServiceStats,
+    TraceInbox,
+)
 from repro.trace import (
     EnvironmentSpec,
     Trace,
@@ -50,6 +65,7 @@ __all__ = [
     "ConcolicBudget",
     "Environment",
     "EnvironmentSpec",
+    "IngestResult",
     "InstrumentationMethod",
     "InstrumentationPlan",
     "InstrumentationReport",
@@ -58,7 +74,13 @@ __all__ = [
     "RecordingResult",
     "ReplayBudget",
     "ReplayReport",
+    "ReproConfig",
+    "ReproService",
+    "ReproSession",
+    "ReproductionReport",
+    "ServiceStats",
     "Trace",
+    "TraceInbox",
     "TraceError",
     "TraceFingerprintMismatch",
     "TraceFormatError",
@@ -68,4 +90,4 @@ __all__ = [
     "trace_from_recording",
 ]
 
-__version__ = "0.1.0"
+__version__ = "0.3.0"

@@ -13,7 +13,8 @@ from typing import Optional, Set
 from repro.concolic.budget import ConcolicBudget
 from repro.replay.budget import ReplayBudget
 
-__all__ = ["ConcolicBudget", "PipelineConfig", "ReplayBudget"]
+__all__ = ["ConcolicBudget", "PipelineConfig", "ReplayBudget",
+           "coerce_pipeline_config"]
 
 
 @dataclass
@@ -56,6 +57,34 @@ class PipelineConfig:
     # STORE_FAST) instead of scope dicts.  Disable to run the named-cell VM
     # for comparison; semantics are identical either way.
     register_allocation: bool = True
+    # Let the VM fuse BINOP_FF;BRANCH_* into the compare-and-branch
+    # superinstructions.  Observation-preserving; disable for comparison
+    # benchmarks.  (Pre-deployment analysis runs keep the default, like the
+    # other VM code-generation knobs.)
+    fuse_compare_branch: bool = True
+    # Guest call-stack depth limit applied to record and replay runs.
+    max_call_depth: int = 256
 
     def static_skip_set(self) -> Set[str]:
         return set(self.library_functions) if self.static_skips_library else set()
+
+
+def coerce_pipeline_config(config) -> PipelineConfig:
+    """Accept a :class:`PipelineConfig`, a layered config, or ``None``.
+
+    The canonical configuration object is
+    :class:`repro.service.config.ReproConfig`; this shim lets every
+    :class:`~repro.core.pipeline.Pipeline` entry point take either form
+    without the core package importing the service layer (the layered config
+    is recognised duck-typed via its ``to_pipeline_config`` method).
+    """
+
+    if config is None:
+        return PipelineConfig()
+    if isinstance(config, PipelineConfig):
+        return config
+    to_pipeline = getattr(config, "to_pipeline_config", None)
+    if callable(to_pipeline):
+        return to_pipeline()
+    raise TypeError(
+        f"expected PipelineConfig or ReproConfig, got {type(config).__name__}")

@@ -9,7 +9,7 @@ from typing import Dict, Iterable, Optional, Set, Tuple
 from repro.analysis.dataflow import StaticAnalysisResult, StaticAnalyzer
 from repro.concolic.budget import ConcolicBudget
 from repro.concolic.engine import ConcolicEngine, DynamicAnalysisResult
-from repro.core.config import PipelineConfig
+from repro.core.config import PipelineConfig, coerce_pipeline_config
 from repro.core.results import (
     AnalysisResult,
     BranchLoggingStats,
@@ -38,7 +38,9 @@ class Pipeline:
 
     def __init__(self, program: Program, config: Optional[PipelineConfig] = None) -> None:
         self.program = program
-        self.config = config or PipelineConfig()
+        # Accepts the legacy PipelineConfig or the layered service-era
+        # ReproConfig (coerced here so every stage sees one flat object).
+        self.config = coerce_pipeline_config(config)
         self.overhead_model = OverheadModel()
         self._baseline_cache: Dict[str, int] = {}
 
@@ -48,7 +50,7 @@ class Pipeline:
     def from_source(cls, source: str, name: str = "program",
                     config: Optional[PipelineConfig] = None,
                     library_functions: Optional[Set[str]] = None) -> "Pipeline":
-        config = config or PipelineConfig()
+        config = coerce_pipeline_config(config)
         if library_functions:
             config.library_functions = set(library_functions)
         program = Program.from_source(source, name=name,
@@ -149,9 +151,11 @@ class Pipeline:
             binder=InputBinder(mode=ExecutionMode.RECORD),
             config=ExecutionConfig(mode=ExecutionMode.RECORD,
                                    max_steps=self.config.record_max_steps,
+                                   max_call_depth=self.config.max_call_depth,
                                    backend=self.config.backend,
                                    specialize_plans=self.config.specialize_plans,
-                                   register_allocation=self.config.register_allocation),
+                                   register_allocation=self.config.register_allocation,
+                                   fuse_compare_branch=self.config.fuse_compare_branch),
         )
         return executor.run(environment.argv)
 
@@ -166,9 +170,11 @@ class Pipeline:
             binder=InputBinder(mode=ExecutionMode.RECORD),
             config=ExecutionConfig(mode=ExecutionMode.RECORD,
                                    max_steps=self.config.record_max_steps,
+                                   max_call_depth=self.config.max_call_depth,
                                    backend=self.config.backend,
                                    specialize_plans=self.config.specialize_plans,
-                                   register_allocation=self.config.register_allocation),
+                                   register_allocation=self.config.register_allocation,
+                                   fuse_compare_branch=self.config.fuse_compare_branch),
         )
         execution = executor.run(environment.argv)
         baseline = self.baseline_steps(environment)
@@ -223,6 +229,8 @@ class Pipeline:
             worker_kind=self.config.replay_worker_kind,
             specialize_plans=self.config.specialize_plans,
             register_allocation=self.config.register_allocation,
+            fuse_compare_branch=self.config.fuse_compare_branch,
+            max_call_depth=self.config.max_call_depth,
             warm_start=self.config.replay_warm_start,
         )
         outcome = engine.reproduce()
@@ -275,6 +283,8 @@ class Pipeline:
             worker_kind=self.config.replay_worker_kind,
             specialize_plans=self.config.specialize_plans,
             register_allocation=self.config.register_allocation,
+            fuse_compare_branch=self.config.fuse_compare_branch,
+            max_call_depth=self.config.max_call_depth,
             warm_start=self.config.replay_warm_start,
         )
         outcome = engine.reproduce()

@@ -19,6 +19,7 @@ from repro.experiments import (
     diff_exp,
     micro_exp,
     replay_search_exp,
+    service_exp,
     userver_exp,
 )
 
@@ -30,5 +31,6 @@ __all__ = [
     "micro_exp",
     "print_table",
     "replay_search_exp",
+    "service_exp",
     "userver_exp",
 ]

@@ -30,13 +30,17 @@ from repro.vm.compiler import compile_program
 from repro.workloads import fibonacci, microbench, userver
 
 
-#: The measured execution substrates: both Backend implementations plus the
-#: bytecode VM with register allocation disabled (the pre-slot "PR 3" VM),
-#: which anchors the slot-frame speedup gate in ``bench_backends.py``.
+#: The measured execution substrates ``(name, backend, register_allocation,
+#: fuse_compare_branch)``: both Backend implementations, the bytecode VM with
+#: register allocation disabled (the pre-slot "PR 3" VM) which anchors the
+#: slot-frame speedup gate in ``bench_backends.py``, and the slot VM with the
+#: compare-and-branch superinstruction disabled (``vm-nocmp``), which anchors
+#: the recorded ``BINOP_FF;BRANCH_*`` fusion delta.
 MEASURED = (
-    ("interp", "interp", True),
-    ("vm-base", "vm", False),   # named-cell frames (no register allocation)
-    ("vm", "vm", True),         # register-allocated frames
+    ("interp", "interp", True, True),
+    ("vm-base", "vm", False, True),  # named-cell frames (no register allocation)
+    ("vm-nocmp", "vm", True, False),  # slot frames, unfused compare+branch
+    ("vm", "vm", True, True),        # slot frames + compare-and-branch fusion
 )
 
 
@@ -62,7 +66,8 @@ def bench_workloads(smoke: bool = False) -> List[tuple]:
 
 
 def _timed_run(program: Program, environment: Environment, backend: str,
-               register_allocation: bool, logged: bool) -> Dict[str, object]:
+               register_allocation: bool, fuse_compare_branch: bool,
+               logged: bool) -> Dict[str, object]:
     if logged:
         plan = build_plan(InstrumentationMethod.ALL_BRANCHES,
                           program.branch_locations, log_syscalls=True)
@@ -75,7 +80,8 @@ def _timed_run(program: Program, environment: Environment, backend: str,
         hooks=hooks,
         binder=InputBinder(mode=ExecutionMode.RECORD),
         config=ExecutionConfig(mode=ExecutionMode.RECORD, backend=backend,
-                               register_allocation=register_allocation),
+                               register_allocation=register_allocation,
+                               fuse_compare_branch=fuse_compare_branch),
     )
     start = time.perf_counter()
     result = executor.run(environment.argv)
@@ -93,13 +99,14 @@ def backend_rows(repeats: int = 3, smoke: bool = False) -> List[Dict[str, object
         # Pay all compilations once, up front.
         compile_program(program)
         compile_program(program, resolve=False)
+        compile_program(program, cmp_branch=False)
         for configuration, logged in (("none", False), ("all branches", True)):
             measured = {}
-            for name, backend, regalloc in MEASURED:
+            for name, backend, regalloc, cmp_fuse in MEASURED:
                 best = None
                 for _ in range(repeats):
                     sample = _timed_run(program, environment, backend,
-                                        regalloc, logged)
+                                        regalloc, cmp_fuse, logged)
                     if best is None or sample["wall_seconds"] < best["wall_seconds"]:
                         best = sample
                 measured[name] = best
@@ -107,7 +114,9 @@ def backend_rows(repeats: int = 3, smoke: bool = False) -> List[Dict[str, object
                             / measured["interp"]["wall_seconds"])
             vm_base_ips = (measured["vm-base"]["steps"]
                            / measured["vm-base"]["wall_seconds"])
-            for name, backend, regalloc in MEASURED:
+            vm_nocmp_ips = (measured["vm-nocmp"]["steps"]
+                            / measured["vm-nocmp"]["wall_seconds"])
+            for name, backend, regalloc, cmp_fuse in MEASURED:
                 best = measured[name]
                 ips = best["steps"] / best["wall_seconds"]
                 rows.append({
@@ -120,5 +129,8 @@ def backend_rows(repeats: int = 3, smoke: bool = False) -> List[Dict[str, object
                     "instructions_per_sec": round(ips),
                     "speedup_vs_interp": round(ips / baseline_ips, 2),
                     "speedup_vs_vm_base": round(ips / vm_base_ips, 2),
+                    # The compare-and-branch fusion delta (ips over the same
+                    # VM with BINOP_FF;BRANCH_* emitted unfused).
+                    "speedup_vs_vm_nocmp": round(ips / vm_nocmp_ips, 3),
                 })
     return rows

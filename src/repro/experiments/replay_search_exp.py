@@ -38,8 +38,8 @@ import json
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.config import PipelineConfig
 from repro.core.pipeline import Pipeline
+from repro.service.config import InstrumentationSection, ReproConfig
 from repro.instrument.methods import InstrumentationMethod
 from repro.replay.budget import ReplayBudget
 from repro.replay.engine import ReplayEngine, ReplayOutcome
@@ -150,7 +150,9 @@ def search_rows(smoke: bool = False, repeats: int = 2,
     rows: List[Dict[str, object]] = []
     for scenario, name, source, environment, lib in scenarios(smoke):
         pipeline = Pipeline.from_source(
-            source, name=name, config=PipelineConfig(library_functions=set(lib)))
+            source, name=name,
+            config=ReproConfig(instrumentation=InstrumentationSection(
+                library_functions=set(lib))))
         plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES,
                                   environment=environment)
         recording = pipeline.record(plan, environment)
@@ -206,14 +208,22 @@ def search_rows(smoke: bool = False, repeats: int = 2,
     return rows
 
 
-def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json") -> str:
-    """Dump the rows as the PR-over-PR tracking artifact."""
+def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json",
+                   inbox_rows: Optional[List[Dict[str, object]]] = None) -> str:
+    """Dump the rows as the PR-over-PR tracking artifact.
+
+    ``inbox_rows`` (see :mod:`repro.experiments.service_exp`) records the
+    service layer's batch-inbox throughput — traces/sec and dedup ratio —
+    next to the per-search wall-clocks.
+    """
 
     payload = {
         "benchmark": "replay_search",
         "configurations": [config[0] for config in CONFIGURATIONS],
         "rows": rows,
     }
+    if inbox_rows is not None:
+        payload["inbox"] = inbox_rows
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return path

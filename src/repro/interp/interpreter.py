@@ -126,6 +126,10 @@ class ExecutionConfig:
     # force every local onto the named-cell path (the pre-slot VM) for
     # comparison benchmarks and differential tests.
     register_allocation: bool = True
+    # Let the VM fuse ``BINOP_FF;BRANCH_*`` into one compare-and-branch
+    # dispatch (the ``while (i < n)`` hot shape).  Ignored by the
+    # interpreter; disable to emit the unfused pair for comparison.
+    fuse_compare_branch: bool = True
 
 
 @dataclass

@@ -197,6 +197,8 @@ class _EngineSpec:
     backend: str
     specialize_plans: bool
     register_allocation: bool
+    fuse_compare_branch: bool
+    max_call_depth: int
     warm_start: bool
 
     def build_engine(self) -> "ReplayEngine":
@@ -214,6 +216,8 @@ class _EngineSpec:
             workers=1,
             specialize_plans=self.specialize_plans,
             register_allocation=self.register_allocation,
+            fuse_compare_branch=self.fuse_compare_branch,
+            max_call_depth=self.max_call_depth,
             warm_start=self.warm_start,
         )
 
@@ -250,6 +254,8 @@ class ReplayEngine:
                  worker_kind: str = "thread",
                  specialize_plans: bool = True,
                  register_allocation: bool = True,
+                 fuse_compare_branch: bool = True,
+                 max_call_depth: int = 256,
                  warm_start: bool = True) -> None:
         if worker_kind not in WORKER_KINDS:
             raise ValueError(f"worker_kind must be one of {WORKER_KINDS}")
@@ -266,6 +272,8 @@ class ReplayEngine:
         self.worker_kind = worker_kind
         self.specialize_plans = specialize_plans
         self.register_allocation = register_allocation
+        self.fuse_compare_branch = fuse_compare_branch
+        self.max_call_depth = max_call_depth
         self.warm_start = warm_start
         # When True (the default), a run only counts as a reproduction if it
         # crashes at the recorded site *and* its instrumented branch directions
@@ -350,6 +358,19 @@ class ReplayEngine:
                                   thread_name_prefix="replay-worker")
         return pool, lambda item: pool.submit(self._evaluate_item, item)
 
+    def to_spec(self) -> "_EngineSpec":
+        """A picklable recipe that rebuilds this engine (serially) elsewhere.
+
+        The public face of the process-pool plumbing: the reproduction
+        service ships one spec per deduped trace cluster to its persistent
+        worker pool, and the worker runs ``spec.build_engine().reproduce()``
+        in its own interpreter.  The rebuilt engine is always serial
+        (``workers=1``), so its explored search tree is byte-identical to
+        the single-shot path by the engine's commit discipline.
+        """
+
+        return self._engine_spec()
+
     def _engine_spec(self) -> _EngineSpec:
         from repro.trace import EnvironmentSpec
 
@@ -380,6 +401,8 @@ class ReplayEngine:
             backend=self.backend,
             specialize_plans=self.specialize_plans,
             register_allocation=self.register_allocation,
+            fuse_compare_branch=self.fuse_compare_branch,
+            max_call_depth=self.max_call_depth,
             warm_start=self.warm_start,
         )
 
@@ -567,10 +590,12 @@ class ReplayEngine:
 
         config = ExecutionConfig(mode=ExecutionMode.REPLAY,
                                  max_steps=self.budget.max_steps_per_run,
+                                 max_call_depth=self.max_call_depth,
                                  syscall_result_provider=provider,
                                  backend=self.backend,
                                  specialize_plans=self.specialize_plans,
-                                 register_allocation=self.register_allocation)
+                                 register_allocation=self.register_allocation,
+                                 fuse_compare_branch=self.fuse_compare_branch)
         executor = create_backend(self.program, kernel=kernel, hooks=hooks,
                                   binder=binder, config=config)
         result = executor.run(self.environment.argv)

@@ -1,0 +1,89 @@
+"""``repro.service`` — the session-based public API for bug reproduction.
+
+This package is the canonical way to drive the reproduction system:
+
+* :class:`~repro.service.config.ReproConfig` — one layered configuration
+  (execution / instrumentation / replay / service sections) subsuming the
+  legacy ``PipelineConfig`` / ``ExecutionConfig`` / budget sprawl, with
+  ``from_dict``/``to_dict`` round-tripping and lossless shims to and from
+  the legacy objects;
+* :class:`~repro.service.inbox.TraceInbox` — batch ingestion (bytes, files,
+  watched spool directory), two-level deduplication (``(plan fingerprint,
+  crash site)`` bug keys; equivalent-recording clusters that each cost one
+  replay search), and restartable persisted state;
+* :class:`~repro.service.service.ReproService` /
+  :class:`~repro.service.service.ReproSession` — typed request/response
+  objects (:class:`~repro.service.inbox.IngestResult`,
+  :class:`~repro.service.service.ReproductionReport`,
+  :class:`~repro.service.service.ServiceStats`) and a scheduler dispatching
+  deduped clusters, smallest estimated search first, to a persistent
+  process pool of replay workers.
+
+Quickstart (the developer site, serving a spool of shipped bug reports)::
+
+    from repro.service import ReproConfig, ReproService
+
+    with ReproService("inbox-root", config=ReproConfig()) as service:
+        ingested = service.poll_spool("spool/")       # [IngestResult, ...]
+        reports = service.process()                   # one search per cluster
+        for trace_id, report in reports.items():
+            print(trace_id, report.reproduced, report.found_input)
+        print(service.stats().to_json())              # incl. dedup_ratio
+"""
+
+from repro.core.pipeline import Pipeline
+from repro.service.config import (
+    ExecutionSection,
+    InstrumentationSection,
+    ReplaySection,
+    ReproConfig,
+    ServiceSection,
+)
+from repro.service.inbox import IngestResult, TraceCluster, TraceInbox
+from repro.service.service import (
+    ReproService,
+    ReproSession,
+    ReproductionReport,
+    ServiceStats,
+    outcome_fingerprint,
+)
+
+__all__ = [
+    "ExecutionSection",
+    "IngestResult",
+    "InstrumentationSection",
+    "ReplaySection",
+    "ReproConfig",
+    "ReproService",
+    "ReproSession",
+    "ReproductionReport",
+    "ServiceSection",
+    "ServiceStats",
+    "TraceCluster",
+    "TraceInbox",
+    "outcome_fingerprint",
+    "workload_pipeline",
+]
+
+
+def workload_pipeline(name: str, config=None):
+    """``(Pipeline, default environment)`` for a registered workload.
+
+    The one shared construction path behind every workload-by-name consumer
+    (trace tool, disassembler, examples): resolves the source and its
+    library-function set through :func:`repro.workloads.workload_registry`
+    and builds the pipeline under *config* (a :class:`ReproConfig`, a legacy
+    ``PipelineConfig``, or ``None`` for defaults) with the workload's
+    library functions installed.
+    """
+
+    from repro.workloads import workload_registry
+
+    table = workload_registry()
+    if name not in table:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"known: {', '.join(sorted(table))}")
+    source, environment, library = table[name]
+    pipeline = Pipeline.from_source(source, name=name, config=config,
+                                    library_functions=set(library))
+    return pipeline, environment

@@ -1,0 +1,235 @@
+"""Record a workload crash to a trace file, or reproduce one from a file.
+
+The command-line face of the paper's user/developer split, packaged as
+``python -m repro`` (also installed as the ``repro`` console script and
+wrapped by ``scripts/trace_tool.py``).  ``record`` plays the user machine
+(instrument, run, crash, write the compact bug report); ``replay`` plays the
+developer machine for a single trace; ``inbox`` and ``serve-batch`` play the
+developer machine at fleet scale — ingest batches of traces into a
+deduplicating inbox and run one replay search per ``(fingerprint, crash
+site)`` cluster::
+
+    python -m repro record --workload diff-exp1 --out spool/u1.trace
+    python -m repro record --workload diff-exp1 --out spool/u2.trace
+    python -m repro serve-batch --root inbox --spool spool
+
+Exit codes: 0 success (replay: crash reproduced; serve-batch: every cluster
+reproduced), 1 replay search failed, 2 usage / trace-format / fingerprint
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import InstrumentationMethod, ReplayBudget, TraceError, load_trace
+from repro.service import ReproConfig, ReproService, workload_pipeline
+from repro.service.service import ANALYSIS_FREE_METHODS
+from repro.workloads import workload_registry
+
+
+def build_config(args) -> ReproConfig:
+    """The layered service config for one CLI invocation."""
+
+    config = ReproConfig()
+    config.execution.backend = getattr(args, "backend", "vm")
+    if hasattr(args, "workers"):
+        config.replay.workers = args.workers
+        config.replay.worker_kind = args.worker_kind
+        config.replay.warm_start = not args.no_warm_start
+    if hasattr(args, "max_runs"):
+        config.replay.budget = ReplayBudget(max_runs=args.max_runs,
+                                            max_seconds=args.max_seconds)
+    if hasattr(args, "service_workers"):
+        config.service.workers = args.service_workers
+    return config
+
+
+def _pipeline_for(workload: str, args):
+    """``(pipeline, environment)`` or ``None`` after the usage message."""
+
+    try:
+        return workload_pipeline(workload, config=build_config(args))
+    except KeyError:
+        print(f"unknown workload {workload!r}; see `trace_tool.py list`",
+              file=sys.stderr)
+        return None
+
+
+def cmd_list(_args) -> int:
+    for name in sorted(workload_registry()):
+        print(name)
+    return 0
+
+
+def cmd_record(args) -> int:
+    resolved = _pipeline_for(args.workload, args)
+    if resolved is None:
+        return 2
+    pipeline, environment = resolved
+    method = InstrumentationMethod(args.method)
+    plan = pipeline.make_plan(method, environment=environment)
+    recording = pipeline.record_trace(plan, environment, args.out,
+                                      scaffold=not args.keep_input_data)
+    crash = recording.crash_site
+    print(f"recorded {args.workload} -> {args.out}")
+    print(f"  bits={len(recording.bitvector)} "
+          f"syscall_results={recording.syscall_log.count()} "
+          f"crash={crash.function + ':' + str(crash.line) if crash else 'none'}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    trace = load_trace(args.trace)
+    print(json.dumps(trace.describe(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    resolved = _pipeline_for(args.workload, args)
+    if resolved is None:
+        return 2
+    pipeline, _environment = resolved
+    trace = load_trace(args.trace)
+    expect_plan = None
+    if trace.plan.method in ANALYSIS_FREE_METHODS:
+        expect_plan = pipeline.make_plan(InstrumentationMethod(trace.plan.method))
+    report = pipeline.reproduce_from_trace(trace, expect_plan=expect_plan)
+    outcome = report.outcome
+    print(f"replay of {args.trace} ({trace.scenario}, method={trace.plan.method}): "
+          f"{outcome.summary()}")
+    print(f"  stats={json.dumps(outcome.stats(), sort_keys=True)}")
+    if outcome.reproduced:
+        print(f"  crash={outcome.crash_site.function}:{outcome.crash_site.line}")
+        shown = dict(sorted(outcome.found_input.items())[:12])
+        print(f"  input ({len(outcome.found_input)} vars, first 12): {shown}")
+    return 0 if outcome.reproduced else 1
+
+
+def _print_ingests(results) -> None:
+    for result in results:
+        print(f"ingested {result.trace_id} cluster={result.cluster_id} "
+              f"duplicate={result.duplicate} program={result.program} "
+              f"crash={result.crash_site or 'none'} bits={result.bits}")
+
+
+def cmd_inbox(args) -> int:
+    service = ReproService(args.root, config=build_config(args))
+    ingested = []
+    for path in args.ingest or ():
+        ingested.append(service.ingest_file(path))
+    if args.spool:
+        ingested.extend(service.poll_spool(args.spool))
+    _print_ingests(ingested)
+    for path, reason in sorted(service.inbox.rejected.items()):
+        print(f"rejected {path}: {reason}", file=sys.stderr)
+    for cluster in sorted(service.inbox.clusters.values(),
+                          key=lambda c: c.arrival):
+        print(f"cluster {cluster.cluster_id} [{cluster.status}] "
+              f"bug={cluster.bug_key} program={cluster.program} "
+              f"crash={cluster.crash_site or 'none'} "
+              f"members={len(cluster.members)} bits={cluster.bits}")
+    print(f"inbox={json.dumps(service.inbox.describe(), sort_keys=True)}")
+    return 0
+
+
+def cmd_serve_batch(args) -> int:
+    with ReproService(args.root, config=build_config(args)) as service:
+        ingested = []
+        if args.spool:
+            ingested = service.poll_spool(args.spool)
+        _print_ingests(ingested)
+        for path, reason in sorted(service.inbox.rejected.items()):
+            print(f"rejected {path}: {reason}", file=sys.stderr)
+        reports = service.process(max_clusters=args.max_clusters)
+        failed = 0
+        for trace_id in sorted(reports):
+            report = reports[trace_id]
+            status = "reproduced" if report.reproduced else (
+                "error" if report.error else "not reproduced")
+            failed += 0 if report.reproduced else 1
+            via = f" via={report.duplicate_of}" if report.duplicate_of else ""
+            crash = (f"{report.crash_site[0]}:{report.crash_site[1]}"
+                     if report.crash_site else "none")
+            print(f"report {trace_id} [{status}] cluster={report.cluster_id} "
+                  f"runs={report.runs} crash={crash}{via}")
+        print(f"stats={json.dumps(service.stats().to_json(), sort_keys=True)}")
+    return 0 if failed == 0 else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list recordable workload scenarios")
+
+    record = sub.add_parser("record", help="run a workload and write a trace file")
+    record.add_argument("--workload", required=True)
+    record.add_argument("--out", required=True)
+    record.add_argument("--method", default=InstrumentationMethod.ALL_BRANCHES.value,
+                        choices=[m.value for m in InstrumentationMethod])
+    record.add_argument("--backend", default="vm", choices=["interp", "vm"])
+    record.add_argument("--keep-input-data", action="store_true",
+                        help="store real input bytes instead of the privacy scaffold")
+
+    info = sub.add_parser("info", help="print a trace file's summary")
+    info.add_argument("--trace", required=True)
+
+    replay = sub.add_parser("replay", help="reproduce a crash from a trace file")
+    replay.add_argument("--trace", required=True)
+    replay.add_argument("--workload", required=True,
+                        help="the developer's copy of the program")
+    replay.add_argument("--backend", default="vm", choices=["interp", "vm"])
+    replay.add_argument("--workers", type=int, default=1)
+    replay.add_argument("--worker-kind", default="thread",
+                        choices=["thread", "process"])
+    replay.add_argument("--no-warm-start", action="store_true")
+    replay.add_argument("--max-runs", type=int, default=3000)
+    replay.add_argument("--max-seconds", type=float, default=120.0)
+
+    inbox = sub.add_parser("inbox", help="ingest traces into a deduplicating inbox")
+    inbox.add_argument("--root", required=True,
+                       help="inbox state directory (created if missing)")
+    inbox.add_argument("--spool", default=None,
+                       help="poll this directory for *.trace spool files")
+    inbox.add_argument("--ingest", nargs="*", default=None, metavar="TRACE",
+                       help="trace files to ingest directly")
+
+    serve = sub.add_parser(
+        "serve-batch",
+        help="ingest a spool and run one replay search per deduped cluster")
+    serve.add_argument("--root", required=True)
+    serve.add_argument("--spool", default=None)
+    serve.add_argument("--backend", default="vm", choices=["interp", "vm"])
+    serve.add_argument("--workers", type=int, default=1,
+                       help="replay-engine workers inside one search")
+    serve.add_argument("--worker-kind", default="thread",
+                       choices=["thread", "process"])
+    serve.add_argument("--no-warm-start", action="store_true")
+    serve.add_argument("--service-workers", type=int, default=1,
+                       help="cluster-level process pool size (1 = inline)")
+    serve.add_argument("--max-clusters", type=int, default=None)
+    serve.add_argument("--max-runs", type=int, default=3000)
+    serve.add_argument("--max-seconds", type=float, default=120.0)
+
+    args = parser.parse_args(argv)
+    handler = {"list": cmd_list, "record": cmd_record,
+               "info": cmd_info, "replay": cmd_replay,
+               "inbox": cmd_inbox, "serve-batch": cmd_serve_batch}[args.command]
+    try:
+        return handler(args)
+    except TraceError as exc:
+        # Bad trace files and mismatched binaries are user-facing outcomes,
+        # not tool bugs: report a one-line reason and a distinct exit code
+        # instead of a traceback (TraceFormatError covers corruption and
+        # version skew, TraceFingerprintMismatch unmatched binaries).
+        reason = " ".join(str(exc).split())
+        print(f"error: {type(exc).__name__}: {reason}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,313 @@
+"""The unified, layered service configuration.
+
+Before the service layer, callers juggled three overlapping configuration
+objects: :class:`~repro.core.config.PipelineConfig` (pipeline knobs),
+:class:`~repro.interp.interpreter.ExecutionConfig` (per-run execution
+switches) and the two budget dataclasses.  :class:`ReproConfig` subsumes them
+behind four sections mirroring the paper's phases:
+
+* ``execution`` — which engine runs the program and how (backend, step
+  limits, VM specializations);
+* ``instrumentation`` — what the user site logs (syscalls, library-function
+  handling) and the pre-deployment analysis budget;
+* ``replay`` — how hard the developer site searches (budget, order, worker
+  pool, warm start);
+* ``service`` — the trace-inbox / batch-reproduction layer (worker pool over
+  clusters, spool handling, persistence).
+
+``ReproConfig`` round-trips through plain dicts (:meth:`ReproConfig.to_dict`
+/ :meth:`ReproConfig.from_dict`, with unknown keys rejected loudly) and
+through the legacy objects (:meth:`ReproConfig.from_legacy` /
+:meth:`ReproConfig.to_pipeline_config` / :meth:`ReproConfig.execution_config`)
+so every pre-service construction pattern keeps working:
+:class:`~repro.core.pipeline.Pipeline` accepts either a ``PipelineConfig`` or
+a ``ReproConfig`` and the two produce identical behaviour by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.concolic.budget import ConcolicBudget
+from repro.core.config import PipelineConfig
+from repro.interp.inputs import ExecutionMode
+from repro.interp.interpreter import ExecutionConfig
+from repro.replay.budget import ReplayBudget
+
+__all__ = [
+    "ExecutionSection",
+    "InstrumentationSection",
+    "ReplaySection",
+    "ReproConfig",
+    "ServiceSection",
+]
+
+
+@dataclass
+class ExecutionSection:
+    """Which engine executes runs, and the VM's code-generation switches."""
+
+    backend: str = "interp"
+    record_max_steps: int = 10_000_000
+    max_call_depth: int = 256
+    specialize_plans: bool = True
+    register_allocation: bool = True
+    fuse_compare_branch: bool = True
+
+
+@dataclass
+class InstrumentationSection:
+    """User-site logging options and the pre-deployment analysis budget."""
+
+    log_syscalls: bool = True
+    library_functions: Set[str] = field(default_factory=set)
+    static_skips_library: bool = True
+    concolic_budget: ConcolicBudget = field(default_factory=ConcolicBudget)
+
+
+@dataclass
+class ReplaySection:
+    """Developer-site search effort and parallelism."""
+
+    budget: ReplayBudget = field(default_factory=ReplayBudget)
+    search_order: str = "dfs"
+    workers: int = 1
+    worker_kind: str = "thread"
+    warm_start: bool = True
+
+
+@dataclass
+class ServiceSection:
+    """The trace-inbox / batch-reproduction layer.
+
+    ``workers`` is the *cluster-level* pool: with ``workers > 1`` the service
+    dispatches deduped clusters to a persistent process pool (each worker
+    rebuilds a serial replay engine from a pickled spec); ``workers == 1``
+    runs cluster searches inline.  Either way the per-cluster search tree is
+    byte-identical to the single-shot path — the replay engine's commit
+    discipline guarantees it.
+    """
+
+    workers: int = 1
+    spool_pattern: str = "*.trace"
+    persist: bool = True
+    store_traces: bool = True
+    priority: str = "smallest-first"  # or "arrival"
+
+
+#: Valid values for the enum-ish string fields, checked by ``from_dict``.
+_PRIORITIES = ("smallest-first", "arrival")
+
+
+@dataclass
+class ReproConfig:
+    """The one configuration object of the service-layer public API."""
+
+    execution: ExecutionSection = field(default_factory=ExecutionSection)
+    instrumentation: InstrumentationSection = field(
+        default_factory=InstrumentationSection)
+    replay: ReplaySection = field(default_factory=ReplaySection)
+    service: ServiceSection = field(default_factory=ServiceSection)
+
+    # -- legacy shims ----------------------------------------------------------
+
+    @classmethod
+    def from_legacy(cls, legacy) -> "ReproConfig":
+        """Lift a :class:`PipelineConfig` or :class:`ExecutionConfig`.
+
+        Every field of the legacy object lands in its section verbatim;
+        fields the legacy object does not carry keep their defaults.  The
+        round trip (``from_legacy(cfg).to_pipeline_config()`` /
+        ``.execution_config(...)``) reproduces the original object exactly —
+        the config-compatibility tests assert this for every construction
+        pattern the repo uses.
+        """
+
+        if isinstance(legacy, PipelineConfig):
+            return cls(
+                execution=ExecutionSection(
+                    backend=legacy.backend,
+                    record_max_steps=legacy.record_max_steps,
+                    max_call_depth=legacy.max_call_depth,
+                    specialize_plans=legacy.specialize_plans,
+                    register_allocation=legacy.register_allocation,
+                    fuse_compare_branch=legacy.fuse_compare_branch,
+                ),
+                instrumentation=InstrumentationSection(
+                    log_syscalls=legacy.log_syscalls,
+                    library_functions=set(legacy.library_functions),
+                    static_skips_library=legacy.static_skips_library,
+                    concolic_budget=legacy.concolic_budget,
+                ),
+                replay=ReplaySection(
+                    budget=legacy.replay_budget,
+                    search_order=legacy.replay_search_order,
+                    workers=legacy.replay_workers,
+                    worker_kind=legacy.replay_worker_kind,
+                    warm_start=legacy.replay_warm_start,
+                ),
+            )
+        if isinstance(legacy, ExecutionConfig):
+            return cls(execution=ExecutionSection(
+                backend=legacy.backend,
+                record_max_steps=legacy.max_steps,
+                max_call_depth=legacy.max_call_depth,
+                specialize_plans=legacy.specialize_plans,
+                register_allocation=legacy.register_allocation,
+                fuse_compare_branch=legacy.fuse_compare_branch,
+            ))
+        raise TypeError(
+            f"cannot lift {type(legacy).__name__} into a ReproConfig "
+            "(expected PipelineConfig or ExecutionConfig)")
+
+    def to_pipeline_config(self) -> PipelineConfig:
+        """The equivalent legacy :class:`PipelineConfig` (behaviour-identical)."""
+
+        return PipelineConfig(
+            concolic_budget=self.instrumentation.concolic_budget,
+            replay_budget=self.replay.budget,
+            log_syscalls=self.instrumentation.log_syscalls,
+            library_functions=set(self.instrumentation.library_functions),
+            static_skips_library=self.instrumentation.static_skips_library,
+            replay_search_order=self.replay.search_order,
+            record_max_steps=self.execution.record_max_steps,
+            backend=self.execution.backend,
+            replay_workers=self.replay.workers,
+            replay_worker_kind=self.replay.worker_kind,
+            replay_warm_start=self.replay.warm_start,
+            specialize_plans=self.execution.specialize_plans,
+            register_allocation=self.execution.register_allocation,
+            fuse_compare_branch=self.execution.fuse_compare_branch,
+            max_call_depth=self.execution.max_call_depth,
+        )
+
+    def execution_config(self, mode: ExecutionMode = ExecutionMode.RECORD,
+                         max_steps: Optional[int] = None,
+                         syscall_result_provider=None) -> ExecutionConfig:
+        """An :class:`ExecutionConfig` for one run under this configuration.
+
+        ``mode``, ``max_steps`` and ``syscall_result_provider`` are per-run
+        parameters; everything else comes from the ``execution`` section.
+        """
+
+        return ExecutionConfig(
+            mode=mode,
+            max_steps=(self.execution.record_max_steps
+                       if max_steps is None else max_steps),
+            max_call_depth=self.execution.max_call_depth,
+            syscall_result_provider=syscall_result_provider,
+            backend=self.execution.backend,
+            specialize_plans=self.execution.specialize_plans,
+            register_allocation=self.execution.register_allocation,
+            fuse_compare_branch=self.execution.fuse_compare_branch,
+        )
+
+    # -- dict round-tripping ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain, JSON-serializable nested dict (canonical key order)."""
+
+        return {
+            "execution": _plain_fields(self.execution),
+            "instrumentation": {
+                "log_syscalls": self.instrumentation.log_syscalls,
+                "library_functions": sorted(
+                    self.instrumentation.library_functions),
+                "static_skips_library":
+                    self.instrumentation.static_skips_library,
+                "concolic_budget": _plain_fields(
+                    self.instrumentation.concolic_budget),
+            },
+            "replay": {
+                "budget": _plain_fields(self.replay.budget),
+                "search_order": self.replay.search_order,
+                "workers": self.replay.workers,
+                "worker_kind": self.replay.worker_kind,
+                "warm_start": self.replay.warm_start,
+            },
+            "service": _plain_fields(self.service),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ReproConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Partial dicts are allowed (missing sections or keys keep their
+        defaults); *unknown* sections or keys are rejected with a
+        :class:`ValueError` naming the offender — a typoed knob must never
+        silently configure nothing.
+        """
+
+        _reject_unknown(payload, ("execution", "instrumentation", "replay",
+                                  "service"), "ReproConfig")
+        execution = _section_from_dict(ExecutionSection,
+                                       payload.get("execution", {}),
+                                       "execution")
+        instrumentation = _instrumentation_from_dict(
+            payload.get("instrumentation", {}))
+        replay = _replay_from_dict(payload.get("replay", {}))
+        service = _section_from_dict(ServiceSection,
+                                     payload.get("service", {}), "service")
+        if service.priority not in _PRIORITIES:
+            raise ValueError(
+                f"service.priority must be one of {_PRIORITIES}, "
+                f"got {service.priority!r}")
+        return cls(execution=execution, instrumentation=instrumentation,
+                   replay=replay, service=service)
+
+
+# ---------------------------------------------------------------------------
+# dict helpers
+# ---------------------------------------------------------------------------
+
+
+def _plain_fields(obj) -> Dict[str, object]:
+    return {f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)}
+
+
+def _reject_unknown(payload: Dict[str, object], known, where: str) -> None:
+    if not isinstance(payload, dict):
+        raise ValueError(f"{where} must be a mapping, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {unknown} in {where} "
+            f"(known: {sorted(known)})")
+
+
+def _section_from_dict(section_cls, payload: Dict[str, object], where: str):
+    names = [f.name for f in dataclasses.fields(section_cls)]
+    _reject_unknown(payload, names, where)
+    return section_cls(**payload)
+
+
+def _budget_from_dict(budget_cls, payload: Dict[str, object], where: str):
+    names = [f.name for f in dataclasses.fields(budget_cls)]
+    _reject_unknown(payload, names, where)
+    return budget_cls(**payload)
+
+
+def _instrumentation_from_dict(payload: Dict[str, object]) -> InstrumentationSection:
+    _reject_unknown(payload, ("log_syscalls", "library_functions",
+                              "static_skips_library", "concolic_budget"),
+                    "instrumentation")
+    kwargs = dict(payload)
+    if "library_functions" in kwargs:
+        kwargs["library_functions"] = set(kwargs["library_functions"])
+    if "concolic_budget" in kwargs and isinstance(kwargs["concolic_budget"], dict):
+        kwargs["concolic_budget"] = _budget_from_dict(
+            ConcolicBudget, kwargs["concolic_budget"],
+            "instrumentation.concolic_budget")
+    return InstrumentationSection(**kwargs)
+
+
+def _replay_from_dict(payload: Dict[str, object]) -> ReplaySection:
+    _reject_unknown(payload, ("budget", "search_order", "workers",
+                              "worker_kind", "warm_start"), "replay")
+    kwargs = dict(payload)
+    if "budget" in kwargs and isinstance(kwargs["budget"], dict):
+        kwargs["budget"] = _budget_from_dict(ReplayBudget, kwargs["budget"],
+                                             "replay.budget")
+    return ReplaySection(**kwargs)

@@ -1,0 +1,371 @@
+"""The trace inbox: batch ingestion and deduplication of bug reports.
+
+The paper's deployment story has *millions* of user machines shipping compact
+bug reports; the developer site cannot afford one replay search per report.
+The inbox is the receiving dock for that traffic:
+
+* **ingestion** — traces arrive as raw bytes (:meth:`TraceInbox.ingest_bytes`,
+  the shape a network transport would deliver), as files
+  (:meth:`TraceInbox.ingest_file`), or by polling a watched spool directory
+  (:meth:`TraceInbox.poll_spool`) into which an external transport drops
+  ``*.trace`` files.  The inbox API is transport-agnostic on purpose: a
+  socket listener only needs to call ``ingest_bytes``.
+* **deduplication** — clustering is two-level.  The *bug key* is
+  ``(plan fingerprint, crash site)``: reports produced by the same
+  instrumented binary crashing at the same location are the same bug, and
+  clusters sharing a bug key carry the same ``bug_key`` for grouping and
+  triage.  A *cluster* (the unit that gets one replay search) additionally
+  requires an equivalent recording — identical bitvector, syscall log and
+  input scaffold — because only then is the representative's search
+  byte-identical to every member's own.  N duplicate reports therefore cost
+  *one* replay search whose reproduction report fans back out to every
+  member, without ever handing a trace a report its own single-shot search
+  would not have produced.
+* **restartable state** — the inbox persists its ledger (``inbox.json``) and
+  a copy of every ingested trace under its root directory, so a restarted
+  service resumes exactly where it stopped: spool files already ingested are
+  not re-ingested, finished clusters keep their reports, pending clusters
+  are searched next.
+
+Corrupt or truncated trace files never poison a batch: they are recorded in
+the rejection ledger (with the one-line reason) and skipped on subsequent
+polls.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace import Trace, TraceError, load_trace_bytes
+
+__all__ = ["IngestResult", "TraceCluster", "TraceInbox"]
+
+_STATE_FILE = "inbox.json"
+_TRACE_DIR = "traces"
+_STATE_VERSION = 1
+
+
+def _bug_key(trace: Trace) -> str:
+    """Stable identity of ``(plan fingerprint, crash site)`` — *which bug*.
+
+    A pure function of the trace contents (the plan fingerprint is itself a
+    pure function of the program source since node ids became deterministic),
+    so the same bug maps to the same key across processes and restarts.
+    """
+
+    crash = None
+    if trace.crash_site is not None:
+        crash = (trace.crash_site.function, trace.crash_site.line)
+    payload = repr((trace.fingerprint(), crash)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _recording_digest(trace: Trace) -> str:
+    """Identity of the *recording* itself (everything the search consumes).
+
+    Two traces with equal digests drive the replay engine identically, so
+    one search's report is exact for both — the precondition for fanning a
+    cluster's report out to all members.
+    """
+
+    syscalls = None
+    if trace.syscall_log is not None:
+        payload = trace.syscall_log.to_payload()
+        syscalls = tuple(sorted((name, tuple(values))
+                                for name, values in payload.items()))
+    payload = repr((
+        len(trace.bitvector),
+        trace.bitvector.to_bytes(),
+        trace.plan.log_syscalls,
+        syscalls,
+        trace.environment_spec,
+    )).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _cluster_id(bug_key: str, recording_digest: str) -> str:
+    return f"{bug_key}-{recording_digest[:8]}"
+
+
+@dataclass
+class IngestResult:
+    """Typed response of one ingestion (the service API's receipt)."""
+
+    trace_id: str
+    cluster_id: str
+    #: True when the cluster already had members: this trace will ride along
+    #: on the cluster's single replay search instead of costing its own.
+    duplicate: bool
+    program: str
+    scenario: str
+    crash_site: Optional[str]
+    bits: int
+    source: str = "bytes"
+    #: ``(plan fingerprint, crash site)`` identity: clusters sharing it are
+    #: the same *bug* (possibly recorded from different inputs).
+    bug_key: str = ""
+
+
+@dataclass
+class TraceCluster:
+    """Equivalent bug reports: one bug, one recording, one replay search."""
+
+    cluster_id: str
+    program: str
+    scenario: str
+    crash_site: Optional[str]
+    #: Search-size estimate (bits of the first member's bitvector); the
+    #: scheduler runs smallest-estimated-search-first.
+    bits: int
+    #: Ingestion order of the first member (tie-break and "arrival" order).
+    arrival: int
+    members: List[str] = field(default_factory=list)
+    status: str = "pending"  # "pending" | "done" | "failed"
+    report: Optional[Dict[str, object]] = None
+    #: ``(plan fingerprint, crash site)`` identity shared by clusters that
+    #: are the same bug recorded from different inputs.
+    bug_key: str = ""
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "cluster_id": self.cluster_id,
+            "program": self.program,
+            "scenario": self.scenario,
+            "crash_site": self.crash_site,
+            "bits": self.bits,
+            "arrival": self.arrival,
+            "members": list(self.members),
+            "status": self.status,
+            "report": self.report,
+            "bug_key": self.bug_key,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "TraceCluster":
+        return cls(cluster_id=payload["cluster_id"],
+                   program=payload["program"],
+                   scenario=payload["scenario"],
+                   crash_site=payload.get("crash_site"),
+                   bits=payload["bits"],
+                   arrival=payload["arrival"],
+                   members=list(payload.get("members", [])),
+                   status=payload.get("status", "pending"),
+                   report=payload.get("report"),
+                   bug_key=payload.get("bug_key", ""))
+
+
+class TraceInbox:
+    """Receives, stores, deduplicates and schedules bug-report traces."""
+
+    def __init__(self, root: str, persist: bool = True,
+                 store_traces: bool = True,
+                 spool_pattern: str = "*.trace") -> None:
+        self.root = root
+        self.persist = persist
+        self.store_traces = store_traces
+        self.spool_pattern = spool_pattern
+        self.clusters: Dict[str, TraceCluster] = {}
+        #: trace_id -> {cluster, program, scenario, file, source}
+        self.traces: Dict[str, Dict[str, object]] = {}
+        #: spool filename (absolute) -> trace_id ("" when rejected).
+        self.spooled: Dict[str, str] = {}
+        #: spool filename -> one-line rejection reason.
+        self.rejected: Dict[str, str] = {}
+        self._sequence = 0
+        os.makedirs(self.root, exist_ok=True)
+        if self.store_traces:
+            os.makedirs(os.path.join(self.root, _TRACE_DIR), exist_ok=True)
+        self._load_state()
+
+    # -- ingestion --------------------------------------------------------------
+
+    def ingest_bytes(self, data: bytes, source: str = "bytes",
+                     _defer_save: bool = False) -> IngestResult:
+        """Ingest one serialized trace; raises ``TraceError`` on bad bytes."""
+
+        trace = load_trace_bytes(data)
+        self._sequence += 1
+        digest = hashlib.sha256(data).hexdigest()[:8]
+        trace_id = f"t{self._sequence:05d}-{digest}"
+        bug_key = _bug_key(trace)
+        cluster_id = _cluster_id(bug_key, _recording_digest(trace))
+        crash = (f"{trace.crash_site.function}:{trace.crash_site.line}"
+                 if trace.crash_site else None)
+        cluster = self.clusters.get(cluster_id)
+        duplicate = cluster is not None
+        if cluster is None:
+            cluster = TraceCluster(cluster_id=cluster_id,
+                                   program=trace.program_name,
+                                   scenario=trace.scenario,
+                                   crash_site=crash,
+                                   bits=len(trace.bitvector),
+                                   arrival=self._sequence,
+                                   bug_key=bug_key)
+            self.clusters[cluster_id] = cluster
+        cluster.members.append(trace_id)
+        stored = ""
+        if self.store_traces:
+            stored = os.path.join(_TRACE_DIR, f"{trace_id}.trace")
+            with open(os.path.join(self.root, stored), "wb") as handle:
+                handle.write(data)
+        self.traces[trace_id] = {
+            "cluster": cluster_id,
+            "program": trace.program_name,
+            "scenario": trace.scenario,
+            "file": stored,
+            "source": source,
+        }
+        if not _defer_save:
+            self._save_state()
+        return IngestResult(trace_id=trace_id, cluster_id=cluster_id,
+                            duplicate=duplicate, program=trace.program_name,
+                            scenario=trace.scenario, crash_site=crash,
+                            bits=len(trace.bitvector), source=source,
+                            bug_key=bug_key)
+
+    def ingest_file(self, path: str) -> IngestResult:
+        with open(path, "rb") as handle:
+            data = handle.read()
+        return self.ingest_bytes(data, source=os.path.abspath(path))
+
+    def poll_spool(self, spool_dir: str) -> List[IngestResult]:
+        """Ingest every not-yet-seen spool file matching the pattern.
+
+        Files are keyed by absolute path: each spool file is one shipped bug
+        report, so two files with identical contents are two reports (and
+        dedup happens at the cluster level, not here).  Re-polling — in the
+        same process or after a restart — skips everything already ingested
+        or rejected.  A corrupt file lands in :attr:`rejected` with its
+        one-line reason and never aborts the batch.
+
+        State is persisted once per file, *after* the spool ledger entry is
+        recorded, so the on-disk snapshot is always atomic: a crash mid-poll
+        either shows a file fully ingested (trace + ledger entry) or not at
+        all — never a trace that a restarted poll would ingest twice.
+        """
+
+        results: List[IngestResult] = []
+        try:
+            entries = sorted(os.listdir(spool_dir))
+        except FileNotFoundError:
+            return results
+        for name in entries:
+            if not fnmatch.fnmatch(name, self.spool_pattern):
+                continue
+            path = os.path.abspath(os.path.join(spool_dir, name))
+            if path in self.spooled or path in self.rejected:
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+                result = self.ingest_bytes(data, source=path,
+                                           _defer_save=True)
+            except (TraceError, OSError) as exc:
+                self.rejected[path] = f"{type(exc).__name__}: " + \
+                    " ".join(str(exc).split())
+                self._save_state()
+                continue
+            self.spooled[path] = result.trace_id
+            self._save_state()
+            results.append(result)
+        return results
+
+    # -- scheduling -------------------------------------------------------------
+
+    def pending_clusters(self, priority: str = "smallest-first"
+                         ) -> List[TraceCluster]:
+        """Clusters awaiting a replay search, in dispatch order.
+
+        ``smallest-first`` orders by the bitvector-size estimate (shortest
+        recorded log ≈ smallest guided search) so cheap reproductions are
+        reported while the expensive ones still run; ``arrival`` is FIFO.
+        """
+
+        pending = [c for c in self.clusters.values() if c.status == "pending"]
+        if priority == "arrival":
+            pending.sort(key=lambda c: c.arrival)
+        else:
+            pending.sort(key=lambda c: (c.bits, c.arrival))
+        return pending
+
+    def mark_done(self, cluster_id: str, report: Dict[str, object],
+                  failed: bool = False) -> None:
+        cluster = self.clusters[cluster_id]
+        cluster.status = "failed" if failed else "done"
+        cluster.report = report
+        self._save_state()
+
+    def trace_path(self, trace_id: str) -> str:
+        """Absolute path of the stored copy of *trace_id*."""
+
+        entry = self.traces[trace_id]
+        if not entry["file"]:
+            raise KeyError(f"trace {trace_id} was ingested with "
+                           "store_traces=False; no copy kept")
+        return os.path.join(self.root, entry["file"])
+
+    def cluster_of(self, trace_id: str) -> TraceCluster:
+        return self.clusters[self.traces[trace_id]["cluster"]]
+
+    # -- counters ---------------------------------------------------------------
+
+    @property
+    def ingested(self) -> int:
+        return len(self.traces)
+
+    def describe(self) -> Dict[str, object]:
+        done = sum(1 for c in self.clusters.values() if c.status == "done")
+        return {
+            "traces": len(self.traces),
+            "clusters": len(self.clusters),
+            "pending": sum(1 for c in self.clusters.values()
+                           if c.status == "pending"),
+            "done": done,
+            "rejected": len(self.rejected),
+        }
+
+    # -- persistence ------------------------------------------------------------
+
+    def _state_path(self) -> str:
+        return os.path.join(self.root, _STATE_FILE)
+
+    def _save_state(self) -> None:
+        if not self.persist:
+            return
+        payload = {
+            "version": _STATE_VERSION,
+            "sequence": self._sequence,
+            "traces": self.traces,
+            "clusters": {cid: cluster.to_json()
+                         for cid, cluster in self.clusters.items()},
+            "spooled": self.spooled,
+            "rejected": self.rejected,
+        }
+        tmp = self._state_path() + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp, self._state_path())
+
+    def _load_state(self) -> None:
+        try:
+            with open(self._state_path()) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return
+        except (OSError, ValueError) as exc:
+            raise TraceError(f"unreadable inbox state {self._state_path()}: {exc}")
+        if payload.get("version") != _STATE_VERSION:
+            raise TraceError(
+                f"inbox state version {payload.get('version')} unsupported "
+                f"(this build reads version {_STATE_VERSION})")
+        self._sequence = payload.get("sequence", 0)
+        self.traces = dict(payload.get("traces", {}))
+        self.clusters = {cid: TraceCluster.from_json(entry)
+                         for cid, entry in payload.get("clusters", {}).items()}
+        self.spooled = dict(payload.get("spooled", {}))
+        self.rejected = dict(payload.get("rejected", {}))

@@ -1,0 +1,460 @@
+"""The reproduction service: sessions, batch scheduling, typed reports.
+
+:class:`ReproService` is the developer-site daemon of the paper's
+user/developer split, grown to fleet scale: traces stream into a
+:class:`~repro.service.inbox.TraceInbox` (bytes, files or a watched spool
+directory), deduplicate into clusters of equivalent reports — same
+``(plan fingerprint, crash site)`` bug *and* the same recording, see the
+inbox module for the two-level semantics — and
+:meth:`ReproService.process` dispatches one replay search per cluster —
+smallest estimated search first — either inline or on a persistent process
+pool whose workers rebuild a serial engine from the pickled
+:class:`~repro.replay.engine._EngineSpec`.  Every member of a cluster
+receives the cluster's :class:`ReproductionReport`; because the replay
+engine commits speculative work in serial pop order, each report's explored
+search tree is byte-identical to running that trace alone through
+:meth:`Pipeline.reproduce_from_trace`.
+
+:class:`ReproSession` is the client-side handle: a session ingests traces,
+remembers which ones are *its own*, and reads their reports back — the shape
+a per-connection context takes once a network transport fronts the inbox.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.config import PipelineConfig
+from repro.instrument.methods import InstrumentationMethod, build_plan
+from repro.lang.program import Program
+from repro.replay.engine import ReplayEngine, ReplayOutcome
+from repro.service.config import ReproConfig
+from repro.service.inbox import IngestResult, TraceCluster, TraceInbox
+from repro.trace import TraceError, load_trace
+
+__all__ = [
+    "ReproService",
+    "ReproSession",
+    "ReproductionReport",
+    "ServiceStats",
+    "outcome_fingerprint",
+]
+
+
+def outcome_fingerprint(outcome: ReplayOutcome) -> tuple:
+    """Everything identifying an explored search tree (never timings/costs).
+
+    The same tuple the replay benchmarks fingerprint: run records, pending
+    statistics, the reproducing input and the crash location.  Two searches
+    with equal fingerprints explored byte-identical trees.
+    """
+
+    crash = None
+    if outcome.crash_site is not None:
+        crash = (outcome.crash_site.function, outcome.crash_site.line)
+    return (
+        outcome.reproduced,
+        outcome.runs,
+        tuple((r.outcome, r.consumed_bits, r.constraints, r.deviation)
+              for r in outcome.run_records),
+        tuple(sorted(outcome.pending_stats.items())),
+        tuple(sorted(outcome.found_input.items())),
+        crash,
+    )
+
+
+@dataclass
+class ReproductionReport:
+    """Typed result of one trace's reproduction (the service API response).
+
+    One report per *trace*; every member of a cluster carries the same
+    underlying search result (that is the dedup contract), distinguished by
+    ``trace_id``/``duplicate_of``.
+    """
+
+    trace_id: str
+    cluster_id: str
+    program: str
+    scenario: str
+    reproduced: bool
+    runs: int
+    wall_seconds: float
+    timed_out: bool
+    crash_site: Optional[Tuple[str, int]]
+    found_input: Dict[str, int] = field(default_factory=dict)
+    run_records: Tuple[Tuple[str, int, int, str], ...] = ()
+    pending_stats: Dict[str, int] = field(default_factory=dict)
+    solver_calls: int = 0
+    warm_start_hits: int = 0
+    #: Trace id of the cluster representative whose search produced this
+    #: report ("" when this trace was the representative itself).
+    duplicate_of: str = ""
+    error: str = ""
+
+    @classmethod
+    def from_outcome(cls, outcome: ReplayOutcome, *, trace_id: str,
+                     cluster_id: str, program: str, scenario: str,
+                     duplicate_of: str = "") -> "ReproductionReport":
+        crash = None
+        if outcome.crash_site is not None:
+            crash = (outcome.crash_site.function, outcome.crash_site.line)
+        return cls(
+            trace_id=trace_id, cluster_id=cluster_id, program=program,
+            scenario=scenario, reproduced=outcome.reproduced,
+            runs=outcome.runs, wall_seconds=outcome.wall_seconds,
+            timed_out=outcome.timed_out, crash_site=crash,
+            found_input=dict(outcome.found_input),
+            run_records=tuple((r.outcome, r.consumed_bits, r.constraints,
+                               r.deviation) for r in outcome.run_records),
+            pending_stats=dict(outcome.pending_stats),
+            solver_calls=outcome.solver_calls,
+            warm_start_hits=outcome.warm_start_hits,
+            duplicate_of=duplicate_of,
+        )
+
+    def fingerprint(self) -> tuple:
+        """The explored-search-tree identity (see :func:`outcome_fingerprint`)."""
+
+        return (
+            self.reproduced,
+            self.runs,
+            tuple(self.run_records),
+            tuple(sorted(self.pending_stats.items())),
+            tuple(sorted(self.found_input.items())),
+            self.crash_site,
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "reproduced": self.reproduced,
+            "runs": self.runs,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "timed_out": self.timed_out,
+            "crash_site": list(self.crash_site) if self.crash_site else None,
+            "found_input": dict(self.found_input),
+            "run_records": [list(record) for record in self.run_records],
+            "pending_stats": dict(self.pending_stats),
+            "solver_calls": self.solver_calls,
+            "warm_start_hits": self.warm_start_hits,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object], *, trace_id: str,
+                  cluster: TraceCluster) -> "ReproductionReport":
+        crash = payload.get("crash_site")
+        representative = cluster.members[0] if cluster.members else ""
+        return cls(
+            trace_id=trace_id, cluster_id=cluster.cluster_id,
+            program=cluster.program, scenario=cluster.scenario,
+            reproduced=payload["reproduced"], runs=payload["runs"],
+            wall_seconds=payload["wall_seconds"],
+            timed_out=payload["timed_out"],
+            crash_site=tuple(crash) if crash else None,
+            found_input=dict(payload["found_input"]),
+            run_records=tuple(tuple(record)
+                              for record in payload["run_records"]),
+            pending_stats=dict(payload["pending_stats"]),
+            solver_calls=payload["solver_calls"],
+            warm_start_hits=payload["warm_start_hits"],
+            duplicate_of="" if trace_id == representative else representative,
+            error=payload.get("error", ""),
+        )
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate service counters (the observability surface)."""
+
+    traces_ingested: int = 0
+    clusters_total: int = 0
+    clusters_pending: int = 0
+    clusters_done: int = 0
+    searches_run: int = 0
+    reports_fanned_out: int = 0
+    reproduced_clusters: int = 0
+    rejected_traces: int = 0
+    process_wall_seconds: float = 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Traces served per replay search (1.0 = no dedup win)."""
+
+        if not self.searches_run:
+            return 1.0
+        return self.reports_fanned_out / self.searches_run
+
+    def to_json(self) -> Dict[str, object]:
+        payload = {name: getattr(self, name)
+                   for name in self.__dataclass_fields__}
+        payload["process_wall_seconds"] = round(self.process_wall_seconds, 4)
+        payload["dedup_ratio"] = round(self.dedup_ratio, 4)
+        return payload
+
+
+#: Instrumentation methods whose plans rebuild deterministically without any
+#: pre-deployment analysis; for traces recorded under these the service
+#: re-derives the developer-side plan and enforces the strict
+#: matched-binaries fingerprint check (exactly like the single-trace replay
+#: command).  Analysis-based plans are still guarded by the program-level
+#: branch-location check in :meth:`ReplayEngine.from_trace`.
+ANALYSIS_FREE_METHODS = frozenset((InstrumentationMethod.ALL_BRANCHES.value,
+                                   InstrumentationMethod.NONE.value))
+
+
+def _search_worker(spec) -> ReplayOutcome:
+    """Process-pool entry: rebuild a serial engine from *spec* and search."""
+
+    return spec.build_engine().reproduce()
+
+
+class ReproSession:
+    """A client handle on the service: ingest traces, read their reports."""
+
+    def __init__(self, service: "ReproService", name: str = "") -> None:
+        self.service = service
+        self.name = name or f"session-{id(self):x}"
+        self.trace_ids: List[str] = []
+
+    def ingest_bytes(self, data: bytes, source: str = "bytes") -> IngestResult:
+        result = self.service.ingest_bytes(data, source=source)
+        self.trace_ids.append(result.trace_id)
+        return result
+
+    def ingest_file(self, path: str) -> IngestResult:
+        result = self.service.ingest_file(path)
+        self.trace_ids.append(result.trace_id)
+        return result
+
+    def report(self, trace_id: str) -> Optional[ReproductionReport]:
+        return self.service.report(trace_id)
+
+    def reports(self) -> Dict[str, Optional[ReproductionReport]]:
+        """Reports for every trace this session ingested (None = pending)."""
+
+        return {trace_id: self.service.report(trace_id)
+                for trace_id in self.trace_ids}
+
+    def __enter__(self) -> "ReproSession":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+
+class ReproService:
+    """The canonical developer-site API: inbox + scheduler + worker pool."""
+
+    def __init__(self, root: str,
+                 config: Optional[ReproConfig] = None,
+                 programs: Optional[Dict[str, str]] = None,
+                 resolver: Optional[Callable[[str], tuple]] = None) -> None:
+        if config is None:
+            config = ReproConfig()
+        elif isinstance(config, PipelineConfig):
+            config = ReproConfig.from_legacy(config)
+        self.config = config
+        self.inbox = TraceInbox(root,
+                                persist=config.service.persist,
+                                store_traces=config.service.store_traces,
+                                spool_pattern=config.service.spool_pattern)
+        self._programs_src = dict(programs or {})
+        self._resolver = resolver
+        self._programs: Dict[str, Program] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._searches_run = 0
+        self._reports_fanned_out = 0
+        self._reproduced_clusters = 0
+        self._process_wall = 0.0
+
+    # -- ingestion (delegated) --------------------------------------------------
+
+    def ingest_bytes(self, data: bytes, source: str = "bytes") -> IngestResult:
+        return self.inbox.ingest_bytes(data, source=source)
+
+    def ingest_file(self, path: str) -> IngestResult:
+        return self.inbox.ingest_file(path)
+
+    def poll_spool(self, spool_dir: str) -> List[IngestResult]:
+        return self.inbox.poll_spool(spool_dir)
+
+    def session(self, name: str = "") -> ReproSession:
+        return ReproSession(self, name)
+
+    # -- program resolution -----------------------------------------------------
+
+    def _resolve_source(self, name: str) -> Tuple[str, frozenset]:
+        if name in self._programs_src:
+            entry = self._programs_src[name]
+            if isinstance(entry, tuple):
+                return entry[0], frozenset(entry[1])
+            from repro.workloads import library_functions_for
+
+            return entry, library_functions_for(entry)
+        if self._resolver is not None:
+            resolved = self._resolver(name)
+            if resolved is not None:
+                return resolved[0], frozenset(resolved[1])
+        from repro.workloads import workload_registry
+
+        table = workload_registry()
+        if name in table:
+            source, _environment, library = table[name]
+            return source, frozenset(library)
+        raise KeyError(
+            f"no program registered for trace program name {name!r}; "
+            "pass programs={...} or a resolver to ReproService")
+
+    def program_for(self, name: str) -> Program:
+        """The developer's copy of the binary for *name* (cached)."""
+
+        program = self._programs.get(name)
+        if program is None:
+            source, library = self._resolve_source(name)
+            program = Program.from_source(name=name, source=source,
+                                          library_functions=set(library))
+            self._programs[name] = program
+        return program
+
+    # -- the scheduler ----------------------------------------------------------
+
+    def process(self, max_clusters: Optional[int] = None
+                ) -> Dict[str, ReproductionReport]:
+        """Run replay searches for pending clusters; fan reports out.
+
+        Clusters dispatch in priority order (smallest estimated search
+        first, per the ``service.priority`` section).  With
+        ``service.workers > 1`` the searches run on a persistent process
+        pool, one serial engine per worker; otherwise inline.  Returns a
+        report per *member trace* of every cluster processed in this call.
+        """
+
+        start = time.perf_counter()
+        clusters = self.inbox.pending_clusters(self.config.service.priority)
+        if max_clusters is not None:
+            clusters = clusters[:max_clusters]
+        reports: Dict[str, ReproductionReport] = {}
+        jobs: List[Tuple[TraceCluster, object]] = []
+        for cluster in clusters:
+            try:
+                engine = self._engine_for(cluster)
+            except (TraceError, KeyError) as exc:
+                self._fail_cluster(cluster, exc, reports)
+                continue
+            if self.config.service.workers > 1:
+                jobs.append((cluster, self._ensure_pool().submit(
+                    _search_worker, engine.to_spec())))
+            else:
+                jobs.append((cluster, engine.reproduce()))
+        for cluster, job in jobs:
+            outcome = job.result() if hasattr(job, "result") else job
+            self._commit_cluster(cluster, outcome, reports)
+        self._process_wall += time.perf_counter() - start
+        return reports
+
+    def _engine_for(self, cluster: TraceCluster) -> ReplayEngine:
+        representative = cluster.members[0]
+        trace = load_trace(self.inbox.trace_path(representative))
+        program = self.program_for(cluster.program)
+        expect_plan = None
+        if trace.plan.method in ANALYSIS_FREE_METHODS:
+            expect_plan = build_plan(
+                InstrumentationMethod(trace.plan.method),
+                program.branch_locations,
+                log_syscalls=trace.plan.log_syscalls)
+        replay = self.config.replay
+        execution = self.config.execution
+        return ReplayEngine.from_trace(
+            program, trace,
+            expect_plan=expect_plan,
+            budget=replay.budget,
+            search_order=replay.search_order,
+            backend=execution.backend,
+            workers=replay.workers,
+            worker_kind=replay.worker_kind,
+            specialize_plans=execution.specialize_plans,
+            register_allocation=execution.register_allocation,
+            fuse_compare_branch=execution.fuse_compare_branch,
+            max_call_depth=execution.max_call_depth,
+            warm_start=replay.warm_start,
+        )
+
+    def _commit_cluster(self, cluster: TraceCluster, outcome: ReplayOutcome,
+                        reports: Dict[str, ReproductionReport]) -> None:
+        self._searches_run += 1
+        if outcome.reproduced:
+            self._reproduced_clusters += 1
+        representative = cluster.members[0]
+        base = ReproductionReport.from_outcome(
+            outcome, trace_id=representative, cluster_id=cluster.cluster_id,
+            program=cluster.program, scenario=cluster.scenario)
+        self.inbox.mark_done(cluster.cluster_id, base.to_json())
+        for trace_id in cluster.members:
+            if trace_id == representative:
+                reports[trace_id] = base
+            else:
+                reports[trace_id] = ReproductionReport.from_json(
+                    base.to_json(), trace_id=trace_id, cluster=cluster)
+            self._reports_fanned_out += 1
+
+    def _fail_cluster(self, cluster: TraceCluster, exc: Exception,
+                      reports: Dict[str, ReproductionReport]) -> None:
+        reason = f"{type(exc).__name__}: " + " ".join(str(exc).split())
+        payload = {
+            "reproduced": False, "runs": 0, "wall_seconds": 0.0,
+            "timed_out": False, "crash_site": None, "found_input": {},
+            "run_records": [], "pending_stats": {}, "solver_calls": 0,
+            "warm_start_hits": 0, "error": reason,
+        }
+        self.inbox.mark_done(cluster.cluster_id, payload, failed=True)
+        for trace_id in cluster.members:
+            reports[trace_id] = ReproductionReport.from_json(
+                payload, trace_id=trace_id, cluster=cluster)
+            self._reports_fanned_out += 1
+
+    # -- queries ----------------------------------------------------------------
+
+    def report(self, trace_id: str) -> Optional[ReproductionReport]:
+        """The (possibly restored-from-disk) report for one trace, or None."""
+
+        cluster = self.inbox.cluster_of(trace_id)
+        if cluster.report is None:
+            return None
+        return ReproductionReport.from_json(cluster.report, trace_id=trace_id,
+                                            cluster=cluster)
+
+    def stats(self) -> ServiceStats:
+        described = self.inbox.describe()
+        return ServiceStats(
+            traces_ingested=described["traces"],
+            clusters_total=described["clusters"],
+            clusters_pending=described["pending"],
+            clusters_done=described["done"],
+            searches_run=self._searches_run,
+            reports_fanned_out=self._reports_fanned_out,
+            reproduced_clusters=self._reproduced_clusters,
+            rejected_traces=described["rejected"],
+            process_wall_seconds=self._process_wall,
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.service.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ReproService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -102,6 +102,14 @@ class CodeObject:
             operator, left, right, target = arg
             return (f"{operator!r} {self._slot(left)}, {self._slot(right)}"
                     f" -> {self._slot(target)}")
+        if op in (opcodes.BINOP_FF_BRANCH, opcodes.BINOP_FF_BRANCH_BARE):
+            operator, left, right, location, target = arg
+            return (f"{operator!r} {self._slot(left)}, {self._slot(right)}; "
+                    f"{location.short()} -> {target}")
+        if op == opcodes.BINOP_FF_BRANCH_LOGGED:
+            operator, left, right, location, target, slot = arg
+            return (f"{operator!r} {self._slot(left)}, {self._slot(right)}; "
+                    f"{location.short()} -> {target} [slot {slot}]")
         return repr(arg)
 
 

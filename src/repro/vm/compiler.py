@@ -77,6 +77,10 @@ from repro.vm.code import CodeObject, CompiledProgram
 
 _CACHE_ATTR = "_vm_compiled_by_plan"
 
+#: Operators eligible for compare-and-branch fusion (their concrete result is
+#: the branch decision itself).
+_COMPARISONS = frozenset(("<", ">", "<=", ">=", "==", "!="))
+
 #: Process-wide compiled-code cache counters (all programs, all plans).
 #: Guarded by a lock because replay workers construct VMs concurrently and
 #: the counters are a diagnostic whose sums must add up.
@@ -127,7 +131,8 @@ def _count_event(kind: str) -> None:
 
 
 def compile_program(program: Program, plan=None,
-                    resolve: bool = True) -> CompiledProgram:
+                    resolve: bool = True,
+                    cmp_branch: bool = True) -> CompiledProgram:
     """Compile *program* for *plan*, caching per ``(program, key)``.
 
     ``plan=None`` compiles unspecialized branch dispatch; a plan keys the
@@ -142,10 +147,15 @@ def compile_program(program: Program, plan=None,
     :data:`~repro.lang.resolve.RESOLVER_VERSION` — and whether resolution
     was enabled at all — so a stale slot layout can never leak into a run
     compiled under different resolution rules.
+
+    ``cmp_branch`` enables the compare-and-branch superinstructions
+    (``BINOP_FF_BRANCH*``); disable to emit the unfused pair for comparison
+    benchmarks.  Part of the cache key for the same staleness reason.
     """
 
     key = (RESOLVER_VERSION if resolve else 0,
-           None if plan is None else plan.fingerprint())
+           None if plan is None else plan.fingerprint(),
+           cmp_branch)
     cache = getattr(program, _CACHE_ATTR, None)
     if cache is None:
         cache = {}
@@ -155,7 +165,8 @@ def compile_program(program: Program, plan=None,
         _count_event("hits")
         return cached
     _count_event("misses")
-    compiled = Compiler(program, plan=plan, resolve=resolve).compile()
+    compiled = Compiler(program, plan=plan, resolve=resolve,
+                        cmp_branch=cmp_branch).compile()
     cache[key] = compiled
     return compiled
 
@@ -172,9 +183,11 @@ class _Label:
 class Compiler:
     """Compiles every function of one program (optionally plan-specialized)."""
 
-    def __init__(self, program: Program, plan=None, resolve: bool = True) -> None:
+    def __init__(self, program: Program, plan=None, resolve: bool = True,
+                 cmp_branch: bool = True) -> None:
         self.program = program
         self.plan = plan
+        self.cmp_branch = cmp_branch
         self.resolution = resolve_program(program) if resolve else None
         # Slot table for BRANCH_LOGGED: slot index -> BranchLocation.  The VM
         # keeps one inline execution counter per slot.
@@ -293,19 +306,62 @@ class _FunctionEmitter:
                 location, label, slot = arg
                 self.instructions[pc] = (opcode, (location, label.pc, slot),
                                          charge, line)
+            elif opcode in (op.BINOP_FF_BRANCH, op.BINOP_FF_BRANCH_BARE):
+                operator, left, right, location, label = arg
+                self.instructions[pc] = (
+                    opcode, (operator, left, right, location, label.pc),
+                    charge, line)
+            elif opcode == op.BINOP_FF_BRANCH_LOGGED:
+                operator, left, right, location, label, slot = arg
+                self.instructions[pc] = (
+                    opcode, (operator, left, right, location, label.pc, slot),
+                    charge, line)
 
     def emit_branch(self, location, else_label: _Label) -> None:
         """Emit the branch flavour the compilation mode calls for."""
 
         plan = self.compiler.plan
         if plan is None:
+            if self._fuse_cmp_branch(op.BINOP_FF_BRANCH,
+                                     (location, else_label)):
+                return
             self.emit(op.BRANCH, (location, else_label))
         elif plan.is_instrumented(location):
             slot = len(self.compiler.logged_locations)
             self.compiler.logged_locations.append(location)
+            if self._fuse_cmp_branch(op.BINOP_FF_BRANCH_LOGGED,
+                                     (location, else_label, slot)):
+                return
             self.emit(op.BRANCH_LOGGED, (location, else_label, slot))
         else:
+            if self._fuse_cmp_branch(op.BINOP_FF_BRANCH_BARE,
+                                     (location, else_label)):
+                return
             self.emit(op.BRANCH_BARE, (location, else_label))
+
+    def _fuse_cmp_branch(self, fused_opcode: int, branch_arg: tuple) -> bool:
+        """Peephole: collapse ``BINOP_FF;BRANCH_*`` (the ``while (i < n)``
+        hot shape) into one compare-and-branch dispatch.
+
+        Only comparison operators fuse: their concrete result *is* the branch
+        decision, so the fused opcode skips materializing the intermediate
+        truth value entirely.  Same label rules as :meth:`_fuse_binop_store`
+        — declined when a bound label points at the would-be branch position
+        (a jump could land there expecting the condition on the stack).
+        """
+
+        if not self.compiler.cmp_branch:
+            return False
+        instructions = self.instructions
+        if not instructions or len(instructions) in self._bound_positions:
+            return False
+        opcode, arg, charge, line = instructions[-1]
+        if opcode != op.BINOP_FF or arg[0] not in _COMPARISONS:
+            return False
+        charge += self.pending
+        self.pending = 0
+        instructions[-1] = (fused_opcode, arg + branch_arg, charge, line)
+        return True
 
     # -- statements ------------------------------------------------------------
 

@@ -165,7 +165,8 @@ class VirtualMachine:
         self._spec = self._select_specialization()
         plan = getattr(self.hooks, "plan", None) if self._spec else None
         self.compiled = compile_program(
-            program, plan, resolve=self.config.register_allocation)
+            program, plan, resolve=self.config.register_allocation,
+            cmp_branch=self.config.fuse_compare_branch)
         # Inline state for the specialized branch opcodes.  ``_rec_append``
         # doubles as the record/replay discriminator in the dispatch loop.
         self._rec_append = None
@@ -462,6 +463,175 @@ class VirtualMachine:
                         raise DivisionByZeroError("division by zero", line)
                 else:
                     push(pointer_binary_op(operator, left, right, line))
+            # The three compare-and-branch superinstructions (fused
+            # BINOP_FF;BRANCH_*): two fully concrete slots decide the branch
+            # without materializing the truth value; symbolic or pointer
+            # operands rebuild it through the shared helpers so the observed
+            # behaviour (events, conditions, crashes) is identical to the
+            # unfused pair by construction.
+            elif opcode == op.BINOP_FF_BRANCH_LOGGED:
+                operator, left_slot, right_slot, location, target, slot = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if (type(left) is ConcolicValue
+                        and type(right) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    sym = None
+                else:
+                    if (type(left) is ConcolicValue
+                            and type(right) is ConcolicValue):
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        sym = value.symbolic
+                    else:
+                        taken = as_int(value).concrete != 0
+                        sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is None:
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot] += 1
+                    else:
+                        cursor = cursor_cell[0]
+                        if cursor >= replay_len:
+                            hooks.vm_log_exhausted(location)  # raises AbortRun
+                        cursor_cell[0] = cursor + 1
+                        if replay_bits[cursor] != taken:
+                            hooks.vm_concrete_mismatch(location, cursor)
+                else:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot] += 1
+                    else:
+                        expr = as_condition(sym)
+                        hooks.vm_logged_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))  # may raise AbortRun
+                if not taken:
+                    pc = target
+            elif opcode == op.BINOP_FF_BRANCH_BARE:
+                operator, left_slot, right_slot, location, target = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if (type(left) is ConcolicValue
+                        and type(right) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    sym = None
+                else:
+                    if (type(left) is ConcolicValue
+                            and type(right) is ConcolicValue):
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        sym = value.symbolic
+                    else:
+                        taken = as_int(value).concrete != 0
+                        sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is not None:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is None:
+                        expr = as_condition(sym)
+                        hooks.vm_bare_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))
+                if not taken:
+                    pc = target
+            elif opcode == op.BINOP_FF_BRANCH:
+                operator, left_slot, right_slot, location, target = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if (type(left) is ConcolicValue
+                        and type(right) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    symbolic = False
+                    condition_source = None
+                else:
+                    if (type(left) is ConcolicValue
+                            and type(right) is ConcolicValue):
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        condition_source = value.symbolic
+                        symbolic = condition_source is not None
+                    else:
+                        taken = as_int(value).concrete != 0
+                        symbolic = False
+                        condition_source = None
+                if null_hooks:
+                    self.branch_counter += 1
+                    if symbolic:
+                        self.symbolic_branch_counter += 1
+                    if not taken:
+                        pc = target
+                    continue
+                condition = None
+                if symbolic:
+                    expr = as_condition(condition_source)
+                    condition = expr if taken else expr.negated()
+                event = BranchEvent(location=location, taken=taken,
+                                    symbolic=symbolic, condition=condition,
+                                    index=self.branch_counter)
+                self.branch_counter += 1
+                if symbolic:
+                    self.symbolic_branch_counter += 1
+                hooks.on_branch(event)
+                if not taken:
+                    pc = target
             elif opcode == op.BINOP_FC_STORE:
                 operator, slot, right, target_slot = arg
                 left = frame_slots[slot]

@@ -97,6 +97,16 @@ BINOP_FF = 47        # arg: (op, slot1, slot2) — fused LOAD_FAST;LOAD_FAST;BIN
 BINOP_FC_STORE = 48  # arg: (op, slot, const, target_slot) — ...;STORE_FAST
 BINOP_FF_STORE = 49  # arg: (op, slot1, slot2, target_slot) — ...;STORE_FAST
 
+# Compare-and-branch superinstructions -----------------------------------------
+# Fused ``BINOP_FF;BRANCH_*`` for the ``while (i < n)`` hot shape: compare two
+# slots and branch in one dispatch.  Only comparison operators fuse (their
+# fully concrete result is the branch decision directly — no intermediate
+# ConcolicValue is built); symbolic or pointer operands fall back to the exact
+# slow path of the unfused pair.
+BINOP_FF_BRANCH = 50         # arg: (op, slot1, slot2, location, else_target)
+BINOP_FF_BRANCH_BARE = 51    # arg: (op, slot1, slot2, location, else_target)
+BINOP_FF_BRANCH_LOGGED = 52  # arg: (op, slot1, slot2, location, else_target, slot)
+
 OPCODE_NAMES = {
     value: name
     for name, value in sorted(globals().items())

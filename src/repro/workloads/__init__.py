@@ -34,6 +34,7 @@ __all__ = [
     "library_functions_for",
     "microbench",
     "userver",
+    "workload_registry",
 ]
 
 
@@ -76,3 +77,16 @@ def all_cases() -> List[Tuple[str, str, "object"]]:
         cases.append((f"{name}-bug", module.SOURCE, module.bug_scenario()))
         cases.append((f"{name}-benign", module.SOURCE, module.benign_scenario()))
     return cases
+
+
+def workload_registry() -> dict:
+    """``name -> (source, environment, library_functions)`` for every case.
+
+    The canonical lookup table behind every workload-by-name entry point —
+    the trace tool, the disassembler and the reproduction service's default
+    program resolver all share it, so a workload name means the same program
+    (and the same library-function set) everywhere.
+    """
+
+    return {name: (source, environment, library_functions_for(source))
+            for name, source, environment in all_cases()}

@@ -1,0 +1,339 @@
+"""The service layer: inbox dedup, scheduling, sessions, fan-out, restart.
+
+The load-bearing contract is the acceptance criterion of the trace-inbox
+design: for a batch of K traces with D distinct ``(fingerprint, crash
+site)`` clusters, exactly D replay searches execute, every trace receives a
+report, and each report's explored search tree is **byte-identical** to
+running that trace alone through ``Pipeline.reproduce_from_trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import InstrumentationMethod, ReplayBudget
+from repro.service import (
+    ReproConfig,
+    ReproService,
+    TraceInbox,
+    outcome_fingerprint,
+    workload_pipeline,
+)
+from repro.trace import dump_trace_bytes, trace_from_recording
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def service_config() -> ReproConfig:
+    config = ReproConfig()
+    config.execution.backend = "vm"
+    config.replay.budget = ReplayBudget(max_runs=1500, max_seconds=60)
+    return config
+
+
+def record_trace_bytes(workload: str) -> bytes:
+    """One shipped bug report (privacy scaffold) for *workload*, as bytes."""
+
+    pipeline, environment = workload_pipeline(workload,
+                                              config=service_config())
+    plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES,
+                              environment=environment)
+    recording = pipeline.record(plan, environment)
+    trace = trace_from_recording(recording, scaffold=True,
+                                 program_name=workload)
+    return dump_trace_bytes(trace)
+
+
+@pytest.fixture(scope="module")
+def mkdir_bytes() -> bytes:
+    return record_trace_bytes("mkdir-bug")
+
+
+@pytest.fixture(scope="module")
+def mkfifo_bytes() -> bytes:
+    return record_trace_bytes("mkfifo-bug")
+
+
+@pytest.fixture(scope="module")
+def paste_bytes() -> bytes:
+    return record_trace_bytes("paste-bug")
+
+
+class TestInboxIngestion:
+    def test_bytes_cluster_by_fingerprint_and_crash(self, tmp_path,
+                                                    mkdir_bytes,
+                                                    mkfifo_bytes):
+        inbox = TraceInbox(str(tmp_path / "inbox"))
+        first = inbox.ingest_bytes(mkdir_bytes)
+        dup = inbox.ingest_bytes(mkdir_bytes)
+        other = inbox.ingest_bytes(mkfifo_bytes)
+        assert not first.duplicate and dup.duplicate and not other.duplicate
+        assert first.cluster_id == dup.cluster_id != other.cluster_id
+        assert first.trace_id != dup.trace_id
+        assert inbox.describe() == {"traces": 3, "clusters": 2, "pending": 2,
+                                    "done": 0, "rejected": 0}
+        cluster = inbox.cluster_of(first.trace_id)
+        assert cluster.members == [first.trace_id, dup.trace_id]
+        assert cluster.crash_site == first.crash_site
+
+    def test_spool_polling_skips_seen_and_survives_corruption(
+            self, tmp_path, mkdir_bytes, mkfifo_bytes):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / "u1.trace").write_bytes(mkdir_bytes)
+        (spool / "u2.trace").write_bytes(mkdir_bytes)
+        (spool / "u3.trace").write_bytes(mkfifo_bytes)
+        (spool / "broken.trace").write_bytes(mkdir_bytes[: len(mkdir_bytes) // 2])
+        (spool / "notes.txt").write_text("not a trace")
+
+        inbox = TraceInbox(str(tmp_path / "inbox"))
+        results = inbox.poll_spool(str(spool))
+        assert len(results) == 3  # .txt ignored, corrupt rejected
+        assert len(inbox.rejected) == 1
+        reason = next(iter(inbox.rejected.values()))
+        assert "TraceFormatError" in reason and "\n" not in reason
+        # Re-polling ingests nothing new (including the rejected file).
+        assert inbox.poll_spool(str(spool)) == []
+        assert inbox.describe()["traces"] == 3
+
+    def test_state_persists_across_restart(self, tmp_path, mkdir_bytes,
+                                           mkfifo_bytes):
+        root = str(tmp_path / "inbox")
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        (spool / "a.trace").write_bytes(mkdir_bytes)
+        (spool / "b.trace").write_bytes(mkfifo_bytes)
+        first = TraceInbox(root)
+        assert len(first.poll_spool(str(spool))) == 2
+        # A fresh instance on the same root resumes, not restarts.
+        reborn = TraceInbox(root)
+        assert reborn.poll_spool(str(spool)) == []
+        assert reborn.describe()["traces"] == 2
+        assert {c.cluster_id for c in reborn.clusters.values()} \
+            == {c.cluster_id for c in first.clusters.values()}
+        # The stored copies survive too.
+        for trace_id in reborn.traces:
+            assert os.path.exists(reborn.trace_path(trace_id))
+
+    def test_persist_false_writes_no_state(self, tmp_path, mkdir_bytes):
+        root = str(tmp_path / "inbox")
+        inbox = TraceInbox(root, persist=False)
+        inbox.ingest_bytes(mkdir_bytes)
+        assert not os.path.exists(os.path.join(root, "inbox.json"))
+
+    def test_priority_orders(self, tmp_path, mkdir_bytes, paste_bytes):
+        inbox = TraceInbox(str(tmp_path / "inbox"))
+        big = inbox.ingest_bytes(mkdir_bytes)   # more bits
+        small = inbox.ingest_bytes(paste_bytes)  # fewer bits, later arrival
+        assert big.bits > small.bits
+        smallest = [c.cluster_id for c in inbox.pending_clusters()]
+        assert smallest == [small.cluster_id, big.cluster_id]
+        arrival = [c.cluster_id
+                   for c in inbox.pending_clusters(priority="arrival")]
+        assert arrival == [big.cluster_id, small.cluster_id]
+
+
+class TestServiceProcessing:
+    def _loaded_service(self, tmp_path, batches) -> tuple:
+        service = ReproService(str(tmp_path / "inbox"),
+                               config=service_config())
+        ingested = []
+        for data, copies in batches:
+            for _ in range(copies):
+                ingested.append(service.ingest_bytes(data))
+        return service, ingested
+
+    def test_dedup_is_semantics_preserving(self, tmp_path, mkdir_bytes,
+                                           mkfifo_bytes):
+        """K traces, D clusters -> exactly D searches; every report is
+        byte-identical to the single-shot path for its trace."""
+
+        service, ingested = self._loaded_service(
+            tmp_path, [(mkdir_bytes, 3), (mkfifo_bytes, 2)])
+        reports = service.process()
+        stats = service.stats()
+        assert stats.searches_run == 2  # D = 2 for K = 5
+        assert stats.reports_fanned_out == 5
+        assert set(reports) == {r.trace_id for r in ingested}
+
+        singles = {}
+        for data, workload in ((mkdir_bytes, "mkdir-bug"),
+                               (mkfifo_bytes, "mkfifo-bug")):
+            pipeline, _env = workload_pipeline(workload,
+                                               config=service_config())
+            from repro.trace import load_trace_bytes
+
+            outcome = pipeline.reproduce_from_trace(
+                load_trace_bytes(data)).outcome
+            singles[workload] = outcome_fingerprint(outcome)
+        for report in reports.values():
+            assert report.reproduced
+            assert report.fingerprint() == singles[report.program], \
+                f"{report.trace_id} diverged from the single-shot search"
+        assert stats.dedup_ratio == 2.5
+
+    def test_cluster_pool_matches_inline(self, tmp_path, mkdir_bytes,
+                                         mkfifo_bytes):
+        """service.workers > 1 (persistent process pool) explores the same
+        trees the inline scheduler does."""
+
+        inline_service, _ = self._loaded_service(
+            tmp_path / "inline", [(mkdir_bytes, 1), (mkfifo_bytes, 1)])
+        inline = inline_service.process()
+
+        config = service_config()
+        config.service.workers = 2
+        pooled_service = ReproService(str(tmp_path / "pooled"), config=config)
+        pooled_ids = [pooled_service.ingest_bytes(data).trace_id
+                      for data in (mkdir_bytes, mkfifo_bytes)]
+        with pooled_service:
+            pooled = pooled_service.process()
+        assert pooled_service.stats().searches_run == 2
+        inline_prints = sorted(r.fingerprint() for r in inline.values())
+        pooled_prints = sorted(pooled[tid].fingerprint()
+                               for tid in pooled_ids)
+        assert pooled_prints == inline_prints
+
+    def test_session_scopes_reports_to_its_traces(self, tmp_path,
+                                                  mkdir_bytes, mkfifo_bytes):
+        service = ReproService(str(tmp_path / "inbox"),
+                               config=service_config())
+        with service.session(name="user-a") as alice:
+            a1 = alice.ingest_bytes(mkdir_bytes)
+            a2 = alice.ingest_bytes(mkdir_bytes)
+        with service.session(name="user-b") as bob:
+            b1 = bob.ingest_bytes(mkfifo_bytes)
+        assert alice.report(a1.trace_id) is None  # nothing processed yet
+        service.process()
+        alice_reports = alice.reports()
+        assert set(alice_reports) == {a1.trace_id, a2.trace_id}
+        assert all(r.reproduced for r in alice_reports.values())
+        assert alice_reports[a2.trace_id].duplicate_of == a1.trace_id
+        assert bob.report(b1.trace_id).program == "mkfifo-bug"
+
+    def test_reports_survive_restart(self, tmp_path, mkdir_bytes):
+        root = str(tmp_path / "inbox")
+        service = ReproService(root, config=service_config())
+        trace_id = service.ingest_bytes(mkdir_bytes).trace_id
+        report = service.process()[trace_id]
+        reborn = ReproService(root, config=service_config())
+        restored = reborn.report(trace_id)
+        assert restored is not None
+        assert restored.fingerprint() == report.fingerprint()
+        # Nothing pending: a restarted service re-runs no searches.
+        assert reborn.process() == {}
+        assert reborn.stats().searches_run == 0
+
+    def test_unknown_program_fails_cluster_not_service(self, tmp_path,
+                                                       mkdir_bytes):
+        from repro import Pipeline
+        from repro.workloads import fibonacci
+
+        pipeline = Pipeline.from_source(fibonacci.SOURCE, name="mystery",
+                                        config=service_config())
+        plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES)
+        recording = pipeline.record(plan, fibonacci.scenario_b())
+        stray = dump_trace_bytes(trace_from_recording(
+            recording, program_name="mystery"))
+
+        service = ReproService(str(tmp_path / "inbox"),
+                               config=service_config())
+        stray_id = service.ingest_bytes(stray).trace_id
+        good_id = service.ingest_bytes(mkdir_bytes).trace_id
+        reports = service.process()
+        assert reports[good_id].reproduced
+        assert not reports[stray_id].reproduced
+        assert "mystery" in reports[stray_id].error
+        assert service.inbox.cluster_of(stray_id).status == "failed"
+
+    def test_same_bug_different_recordings_search_separately(self, tmp_path):
+        """Two users hit the *same* bug with *different* inputs: the traces
+        share a bug key but are not equivalent recordings, so each gets its
+        own search — and each report stays byte-identical to that trace's
+        own single-shot path (the dedup contract, unconditionally)."""
+
+        from repro.trace import load_trace_bytes
+
+        exp1 = record_trace_bytes("diff-exp1")
+        exp2 = record_trace_bytes("diff-exp2")
+        service = ReproService(str(tmp_path / "inbox"),
+                               config=service_config())
+        r1 = service.ingest_bytes(exp1)
+        r2 = service.ingest_bytes(exp2)
+        assert r1.bug_key == r2.bug_key          # same (fingerprint, crash)
+        assert r1.cluster_id != r2.cluster_id    # different recordings
+        assert not r2.duplicate
+        reports = service.process()
+        assert service.stats().searches_run == 2
+        for data, workload, result in ((exp1, "diff-exp1", r1),
+                                       (exp2, "diff-exp2", r2)):
+            pipeline, _env = workload_pipeline(workload,
+                                               config=service_config())
+            single = pipeline.reproduce_from_trace(load_trace_bytes(data))
+            assert reports[result.trace_id].fingerprint() \
+                == outcome_fingerprint(single.outcome)
+
+    def test_smallest_search_dispatches_first(self, tmp_path, mkdir_bytes,
+                                              paste_bytes):
+        service = ReproService(str(tmp_path / "inbox"),
+                               config=service_config())
+        big = service.ingest_bytes(mkdir_bytes)
+        small = service.ingest_bytes(paste_bytes)
+        order = [c.cluster_id for c in service.inbox.pending_clusters(
+            service.config.service.priority)]
+        assert order == [small.cluster_id, big.cluster_id]
+        reports = service.process(max_clusters=1)
+        # Only the smallest cluster ran.
+        assert set(reports) == {small.trace_id}
+        assert service.inbox.cluster_of(big.trace_id).status == "pending"
+
+
+class TestServeBatchCli:
+    def test_spooled_duplicates_cost_one_search(self, tmp_path):
+        """The CI smoke shape: 3 spooled traces (2 duplicates) -> exactly 2
+        replay searches, asserted on the CLI's stats line."""
+
+        tool = os.path.join(REPO_ROOT, "scripts", "trace_tool.py")
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        record = subprocess.run(
+            [sys.executable, tool, "record", "--workload", "mkdir-bug",
+             "--out", str(spool / "u1.trace")],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert record.returncode == 0, record.stderr
+        (spool / "u2.trace").write_bytes((spool / "u1.trace").read_bytes())
+        record = subprocess.run(
+            [sys.executable, tool, "record", "--workload", "mkfifo-bug",
+             "--out", str(spool / "u3.trace")],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert record.returncode == 0, record.stderr
+
+        serve = subprocess.run(
+            [sys.executable, tool, "serve-batch",
+             "--root", str(tmp_path / "inbox"), "--spool", str(spool)],
+            capture_output=True, text=True, env=env, timeout=300)
+        assert serve.returncode == 0, serve.stdout + serve.stderr
+        stats_line = [line for line in serve.stdout.splitlines()
+                      if line.startswith("stats=")]
+        assert stats_line, serve.stdout
+        stats = json.loads(stats_line[0][len("stats="):])
+        assert stats["traces_ingested"] == 3
+        assert stats["searches_run"] == 2
+        assert stats["reports_fanned_out"] == 3
+        assert stats["reproduced_clusters"] == 2
+        assert serve.stdout.count("report t") == 3
+        assert "via=" in serve.stdout  # the duplicate rode along
+
+    def test_module_entry_point_lists_workloads(self):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        listed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert listed.returncode == 0, listed.stderr
+        assert "mkdir-bug" in listed.stdout.split()

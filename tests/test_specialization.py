@@ -275,15 +275,25 @@ def test_specialized_opcodes_follow_the_plan():
     specialized = compile_program(program, partial)
     opcodes = [instr[0] for code in specialized.functions.values()
                for instr in code.instructions]
-    assert opcodes.count(op.BRANCH_LOGGED) == 1
-    assert opcodes.count(op.BRANCH_BARE) == len(locations) - 1
-    assert op.BRANCH not in opcodes
+    # Branches count whether they compiled standalone or fused into a
+    # compare-and-branch superinstruction (the `i > argc` slot comparison).
+    logged = (opcodes.count(op.BRANCH_LOGGED)
+              + opcodes.count(op.BINOP_FF_BRANCH_LOGGED))
+    bare = (opcodes.count(op.BRANCH_BARE)
+            + opcodes.count(op.BINOP_FF_BRANCH_BARE))
+    assert logged == 1
+    assert bare == len(locations) - 1
+    assert op.BRANCH not in opcodes and op.BINOP_FF_BRANCH not in opcodes
 
     unspecialized = compile_program(program)
     plain = [instr[0] for code in unspecialized.functions.values()
              for instr in code.instructions]
-    assert plain.count(op.BRANCH) == len(locations)
-    assert op.BRANCH_LOGGED not in plain and op.BRANCH_BARE not in plain
+    assert (plain.count(op.BRANCH)
+            + plain.count(op.BINOP_FF_BRANCH)) == len(locations)
+    for specialized_only in (op.BRANCH_LOGGED, op.BRANCH_BARE,
+                             op.BINOP_FF_BRANCH_LOGGED,
+                             op.BINOP_FF_BRANCH_BARE):
+        assert specialized_only not in plain
 
 
 def test_superinstructions_emitted():
@@ -311,6 +321,121 @@ def test_superinstructions_emitted():
     assert op.BINOP_NC_STORE in named
     assert op.BINOP_NN_STORE in named
     assert op.LOAD_RET in named
+
+
+def _opcode_stream(compiled):
+    return [instr[0] for code in compiled.functions.values()
+            for instr in code.instructions]
+
+
+def test_compare_and_branch_superinstruction_parity():
+    """``BINOP_FF;BRANCH_*`` fuses for ``while (i < n)`` and changes nothing
+    observable: identical results, events and bitvectors across the
+    interpreter, the fused VM and the fusion-disabled VM."""
+
+    source = """
+        int main(int argc, char **argv) {
+            int n = strlen(argv[1]);
+            int target = 120;
+            int i = 0;
+            int hits = 0;
+            while (i < n) {
+                int c = argv[1][i];
+                if (c == target) { hits = hits + 1; }
+                i = i + 1;
+            }
+            if (hits >= 2) { crash("cmp-branch"); }
+            return hits;
+        }
+    """
+    program = Program.from_source(source, name="cmp-branch-probe")
+
+    # Emission: both slot-slot comparisons fuse — the concrete loop bound
+    # (`i < n`) and the input-dependent character test (`c == target`).
+    fused = _opcode_stream(compile_program(program))
+    assert fused.count(op.BINOP_FF_BRANCH) == 2
+    # ... the knob restores the unfused pair ...
+    plain = _opcode_stream(compile_program(program, cmp_branch=False))
+    assert op.BINOP_FF_BRANCH not in plain
+    assert op.BINOP_FF in plain and op.BRANCH in plain
+    # ... and plan-specialized code fuses into the logged/bare variants.
+    plan = build_plan(InstrumentationMethod.ALL_BRANCHES,
+                      program.branch_locations)
+    specialized = _opcode_stream(compile_program(program, plan))
+    assert op.BINOP_FF_BRANCH_LOGGED in specialized
+
+    # Record-mode differential on all three substrates.
+    environment = simple_environment(["cmp", "axbx"], name="cmp-branch")
+    fingerprints = {}
+    for label, backend, fuse in (("interp", "interp", True),
+                                 ("vm-fused", "vm", True),
+                                 ("vm-unfused", "vm", False)):
+        logger = BranchLogger(plan)
+        executor = create_backend(
+            program,
+            kernel=environment.make_kernel(),
+            hooks=logger,
+            binder=InputBinder(mode=ExecutionMode.RECORD),
+            config=ExecutionConfig(mode=ExecutionMode.RECORD, backend=backend,
+                                   fuse_compare_branch=fuse))
+        result = executor.run(environment.argv)
+        crash = ((result.crash.function, result.crash.line)
+                 if result.crash else None)
+        fingerprints[label] = (
+            result.steps, result.branch_executions,
+            result.symbolic_branch_executions, result.crashed, crash,
+            list(logger.bitvector), logger.instrumented_executions)
+    assert fingerprints["vm-fused"] == fingerprints["interp"]
+    assert fingerprints["vm-unfused"] == fingerprints["interp"]
+    assert fingerprints["interp"][3] is True  # the probe crash fired
+
+    # Replay parity: the replay run binds the argument bytes symbolically, so
+    # the fused opcode's symbolic slow path drives the search — and the fused
+    # VM must explore the identical tree the interpreter does.
+    logger = BranchLogger(plan)
+    executor = create_backend(
+        program, kernel=environment.make_kernel(), hooks=logger,
+        binder=InputBinder(mode=ExecutionMode.RECORD),
+        config=ExecutionConfig(mode=ExecutionMode.RECORD, backend="vm"))
+    recorded = executor.run(environment.argv)
+    outcomes = {}
+    for backend in ("interp", "vm"):
+        engine = ReplayEngine(
+            program=program, plan=plan, bitvector=logger.bitvector,
+            syscall_log=logger.syscall_log, crash_site=recorded.crash,
+            environment=environment.scaffold(),
+            budget=ReplayBudget.quick(), backend=backend)
+        outcomes[backend] = engine.reproduce()
+    assert outcomes["vm"].reproduced
+
+    def tree(outcome):
+        return (outcome.reproduced, outcome.runs,
+                tuple((r.outcome, r.consumed_bits, r.constraints, r.deviation)
+                      for r in outcome.run_records),
+                tuple(sorted(outcome.found_input.items())))
+
+    assert tree(outcomes["vm"]) == tree(outcomes["interp"])
+
+
+def test_pipeline_threads_fuse_compare_branch_knob():
+    """``PipelineConfig(fuse_compare_branch=False)`` must actually reach the
+    VM: every compilation a pipeline run triggers carries the unfused cache
+    key, so the knob can never silently no-op."""
+
+    from repro.workloads.coreutils import mkdir
+
+    pipeline = Pipeline.from_source(
+        mkdir.SOURCE, name="mkdir-nofuse",
+        config=PipelineConfig(backend="vm", fuse_compare_branch=False))
+    environment = mkdir.bug_scenario()
+    plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES,
+                              environment=environment)
+    recording = pipeline.record(plan, environment)
+    report = pipeline.reproduce(recording)
+    assert report.outcome.reproduced
+    cache = getattr(pipeline.program, "_vm_compiled_by_plan")
+    assert cache, "pipeline never compiled anything"
+    assert all(key[2] is False for key in cache), sorted(cache)
 
 
 # ---------------------------------------------------------------------------
