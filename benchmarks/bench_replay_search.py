@@ -39,12 +39,25 @@ def test_replay_search_speedup(benchmark):
     # traces/sec + dedup ratio into the artifact.
     inbox_rows = service_exp.inbox_rows(smoke=SMOKE)
     print_table(inbox_rows, "Batch inbox - dedup ratio and traces/sec")
-    artifact = replay_search_exp.write_artifact(rows, inbox_rows=inbox_rows)
+    # Telemetry cost: same search with metrics/spans on, asserting an
+    # identical explored tree and recording overhead + deterministic
+    # snapshot into the artifact's `telemetry` key.
+    telemetry = replay_search_exp.telemetry_rows(
+        smoke=SMOKE, repeats=1 if SMOKE else 2)
+    print(f"telemetry overhead on {telemetry['scenario']}: "
+          f"{telemetry['overhead_ratio']}x "
+          f"({telemetry['wall_seconds_off']}s off, "
+          f"{telemetry['wall_seconds_on']}s on)")
+    artifact = replay_search_exp.write_artifact(rows, inbox_rows=inbox_rows,
+                                                telemetry=telemetry)
     print(f"wrote {artifact}")
+    assert telemetry["identical_tree"]
+    assert telemetry["snapshot"]["counters"]["replay.runs"] == telemetry["runs"]
     for row in inbox_rows:
         assert row["reproduced"], f"{row['scenario']}: a cluster failed"
         assert row["searches_run"] == row["clusters"]
-        assert row["dedup_ratio"] > 1.0, "batch carried no duplicates"
+        ratio = row["dedup_ratio"]
+        assert ratio is not None and ratio > 1.0, "batch carried no duplicates"
 
     by_key = {(row["scenario"], row["configuration"]): row for row in rows}
     scenarios = {row["scenario"] for row in rows}

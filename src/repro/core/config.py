@@ -64,6 +64,16 @@ class PipelineConfig:
     fuse_compare_branch: bool = True
     # Guest call-stack depth limit applied to record and replay runs.
     max_call_depth: int = 256
+    # Record metrics and spans into repro.telemetry registries during record
+    # and replay.  Telemetry never affects the explored search tree (the
+    # on/off differential tests assert byte-identical outcomes); off (the
+    # default) costs nothing — instrumentation sites resolve to shared no-op
+    # singletons and the VM runs its unmodified dispatch loop.
+    telemetry_enabled: bool = False
+    # Swap in the VM's per-opcode profiling dispatch loop (exact execution
+    # counts per opcode, incl. the logged-vs-bare branch split).  Costs one
+    # dict update per dispatched instruction, so it is a separate knob.
+    profile_opcodes: bool = False
 
     def static_skip_set(self) -> Set[str]:
         return set(self.library_functions) if self.static_skips_library else set()

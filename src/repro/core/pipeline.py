@@ -29,6 +29,7 @@ from repro.interp.tracer import NullHooks, TraceRecorder
 from repro.lang.program import Program
 from repro.replay.budget import ReplayBudget
 from repro.replay.engine import ReplayEngine
+from repro.telemetry import span as telemetry_span
 from repro.concolic.hooks import ConcolicRunTrace
 from repro.concolic.labels import BranchLabels
 
@@ -174,9 +175,15 @@ class Pipeline:
                                    backend=self.config.backend,
                                    specialize_plans=self.config.specialize_plans,
                                    register_allocation=self.config.register_allocation,
-                                   fuse_compare_branch=self.config.fuse_compare_branch),
+                                   fuse_compare_branch=self.config.fuse_compare_branch,
+                                   profile_opcodes=(self.config.telemetry_enabled
+                                                    and self.config.profile_opcodes)),
         )
-        execution = executor.run(environment.argv)
+        # The span (and the VM's opcode counts) land in whatever telemetry
+        # registry the caller has active — a shared no-op when none is.
+        with telemetry_span("record.run", scenario=environment.name,
+                            method=getattr(plan.method, "value", plan.method)):
+            execution = executor.run(environment.argv)
         baseline = self.baseline_steps(environment)
         overhead = self.overhead_model.report(
             method=plan.method,
@@ -232,6 +239,8 @@ class Pipeline:
             fuse_compare_branch=self.config.fuse_compare_branch,
             max_call_depth=self.config.max_call_depth,
             warm_start=self.config.replay_warm_start,
+            telemetry=self.config.telemetry_enabled,
+            profile_opcodes=self.config.profile_opcodes,
         )
         outcome = engine.reproduce()
         return ReplayReport(method=recording.plan.method, outcome=outcome,
@@ -286,6 +295,8 @@ class Pipeline:
             fuse_compare_branch=self.config.fuse_compare_branch,
             max_call_depth=self.config.max_call_depth,
             warm_start=self.config.replay_warm_start,
+            telemetry=self.config.telemetry_enabled,
+            profile_opcodes=self.config.profile_opcodes,
         )
         outcome = engine.reproduce()
         return ReplayReport(method=trace.plan.method, outcome=outcome,

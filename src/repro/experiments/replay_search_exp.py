@@ -208,13 +208,73 @@ def search_rows(smoke: bool = False, repeats: int = 2,
     return rows
 
 
+def telemetry_rows(smoke: bool = False, repeats: int = 2,
+                   budget: Optional[ReplayBudget] = None) -> Dict[str, object]:
+    """Telemetry-on vs telemetry-off cost of the same guided search.
+
+    Runs the ``pr4-serial``-shaped engine on one scenario with telemetry off
+    and on (spans, per-item registries, histograms — VM opcode profiling
+    stays off, it is a separately-priced knob) and reports the wall-clock
+    ratio next to the deterministic metrics snapshot, so the artifact both
+    prices the instrumentation and records what it measured.
+    """
+
+    budget = budget or ReplayBudget(max_runs=6000, max_seconds=240)
+    scenario, name, source, environment, lib = scenarios(smoke=True)[0]
+    pipeline = Pipeline.from_source(
+        source, name=name,
+        config=ReproConfig(instrumentation=InstrumentationSection(
+            library_functions=set(lib))))
+    plan = pipeline.make_plan(InstrumentationMethod.ALL_BRANCHES,
+                              environment=environment)
+    recording = pipeline.record(plan, environment)
+    vm_compiler.compile_program(pipeline.program)
+    vm_compiler.compile_program(pipeline.program, plan)
+
+    def timed(telemetry: bool) -> Tuple[ReplayOutcome, float]:
+        best = None
+        outcome = None
+        for _ in range(repeats):
+            engine = ReplayEngine(
+                program=pipeline.program, plan=recording.plan,
+                bitvector=recording.bitvector,
+                syscall_log=recording.syscall_log,
+                crash_site=recording.crash_site,
+                environment=recording.environment.scaffold(),
+                budget=budget, backend="vm", telemetry=telemetry)
+            start = time.perf_counter()
+            outcome = engine.reproduce()
+            wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+        return outcome, best
+
+    off_outcome, off_wall = timed(False)
+    on_outcome, on_wall = timed(True)
+    assert (_outcome_fingerprint(on_outcome)
+            == _outcome_fingerprint(off_outcome)), \
+        "telemetry changed the explored search tree"
+    return {
+        "scenario": scenario,
+        "runs": off_outcome.runs,
+        "wall_seconds_off": round(off_wall, 4),
+        "wall_seconds_on": round(on_wall, 4),
+        "overhead_ratio": round(on_wall / off_wall, 4),
+        "identical_tree": True,
+        "snapshot": on_outcome.telemetry.deterministic().to_json(),
+    }
+
+
 def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json",
-                   inbox_rows: Optional[List[Dict[str, object]]] = None) -> str:
+                   inbox_rows: Optional[List[Dict[str, object]]] = None,
+                   telemetry: Optional[Dict[str, object]] = None) -> str:
     """Dump the rows as the PR-over-PR tracking artifact.
 
     ``inbox_rows`` (see :mod:`repro.experiments.service_exp`) records the
     service layer's batch-inbox throughput — traces/sec and dedup ratio —
-    next to the per-search wall-clocks.
+    next to the per-search wall-clocks; ``telemetry`` (see
+    :func:`telemetry_rows`) the cost and deterministic content of running
+    the same search instrumented.
     """
 
     payload = {
@@ -224,6 +284,8 @@ def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json
     }
     if inbox_rows is not None:
         payload["inbox"] = inbox_rows
+    if telemetry is not None:
+        payload["telemetry"] = telemetry
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return path

@@ -107,7 +107,11 @@ def inbox_rows(smoke: bool = False) -> List[Dict[str, object]]:
             "clusters": distinct,
             "searches_run": stats.searches_run,
             "reports_fanned_out": stats.reports_fanned_out,
-            "dedup_ratio": round(stats.dedup_ratio, 2),
+            # dedup_ratio is None until a search has run; an inbox batch
+            # always runs at least one, but guard the writer anyway so an
+            # empty batch cannot crash artifact generation.
+            "dedup_ratio": (None if stats.dedup_ratio is None
+                            else round(stats.dedup_ratio, 2)),
             "wall_seconds": round(wall, 4),
             "traces_per_sec": round(count / wall, 2),
             "reproduced": all(r.reproduced for r in reports.values()),

@@ -130,6 +130,12 @@ class ExecutionConfig:
     # dispatch (the ``while (i < n)`` hot shape).  Ignored by the
     # interpreter; disable to emit the unfused pair for comparison.
     fuse_compare_branch: bool = True
+    # Run the VM's per-opcode profiling dispatch loop: exact execution
+    # counts per opcode, merged into the active repro.telemetry registry
+    # after the run.  The profiled loop is generated mechanically from the
+    # shipped loop's source (see repro.vm.machine), so with this off the VM
+    # executes literally unmodified code.  Ignored by the interpreter.
+    profile_opcodes: bool = False
 
 
 @dataclass

@@ -57,6 +57,14 @@ from repro.replay.hooks import ReplayRunHooks
 from repro.replay.pending import PendingItem, PendingList
 from repro.symbolic.constraints import ConstraintSet
 from repro.symbolic.solver import solve, warm_start_assignment
+from repro.telemetry import (
+    MetricsRegistry,
+    RegistrySnapshot,
+    SECONDS_BUCKETS,
+    scoped,
+    span,
+)
+from repro.telemetry import runtime as telemetry_runtime
 from repro.vm import compiler as vm_compiler
 
 WORKER_KINDS = ("thread", "process")
@@ -104,6 +112,12 @@ class ReplayOutcome:
     symbolic_logged_executions: int = 0
     symbolic_not_logged_locations: int = 0
     symbolic_not_logged_executions: int = 0
+    # Metrics recorded during the search when the engine runs with
+    # ``telemetry=True``; ``None`` otherwise.  Timing-marked metrics (wall
+    # clocks, per-process cache warmth, speculation) are excluded from
+    # ``telemetry.deterministic()``, whose canonical bytes are identical for
+    # every worker count and kind.
+    telemetry: Optional[RegistrySnapshot] = None
 
     @property
     def replay_time(self) -> float:
@@ -124,7 +138,15 @@ class ReplayOutcome:
         return self.compile_cache_hits + self.compile_cache_misses
 
     def stats(self) -> Dict[str, int]:
-        """Aggregated counters, one flat map (cross-process observability)."""
+        """Aggregated counters, one flat map.
+
+        .. deprecated:: 0.4
+            Thin shim over the :mod:`repro.telemetry` registry — these
+            counters now live on :attr:`telemetry` (``replay.*`` names) when
+            the engine runs with telemetry enabled.  Kept so pre-telemetry
+            callers (benchmarks, service reports) keep working; the keys and
+            values are identical with telemetry on or off.
+        """
 
         return {
             "runs": self.runs,
@@ -172,6 +194,11 @@ class _ItemEvaluation:
     solver_nodes: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    # Snapshot of the per-item metrics registry (worker-side VM opcode
+    # counts, item histograms, solver/compile-cache timings).  Picklable —
+    # process workers ship it home like every other field — and merged into
+    # the engine registry at commit time, in serial pop order.
+    telemetry: Optional[RegistrySnapshot] = None
 
 
 @dataclass
@@ -200,6 +227,8 @@ class _EngineSpec:
     fuse_compare_branch: bool
     max_call_depth: int
     warm_start: bool
+    telemetry: bool = False
+    profile_opcodes: bool = False
 
     def build_engine(self) -> "ReplayEngine":
         return ReplayEngine(
@@ -219,6 +248,8 @@ class _EngineSpec:
             fuse_compare_branch=self.fuse_compare_branch,
             max_call_depth=self.max_call_depth,
             warm_start=self.warm_start,
+            telemetry=self.telemetry,
+            profile_opcodes=self.profile_opcodes,
         )
 
 
@@ -256,7 +287,9 @@ class ReplayEngine:
                  register_allocation: bool = True,
                  fuse_compare_branch: bool = True,
                  max_call_depth: int = 256,
-                 warm_start: bool = True) -> None:
+                 warm_start: bool = True,
+                 telemetry: bool = False,
+                 profile_opcodes: bool = False) -> None:
         if worker_kind not in WORKER_KINDS:
             raise ValueError(f"worker_kind must be one of {WORKER_KINDS}")
         self.program = program
@@ -275,6 +308,12 @@ class ReplayEngine:
         self.fuse_compare_branch = fuse_compare_branch
         self.max_call_depth = max_call_depth
         self.warm_start = warm_start
+        # Telemetry never affects the explored search tree; profiling opcodes
+        # only makes sense with somewhere to publish the counts, so the VM
+        # profiler is gated on both knobs.
+        self.telemetry = telemetry
+        self.profile_opcodes = profile_opcodes
+        self._registry: Optional[MetricsRegistry] = None
         # When True (the default), a run only counts as a reproduction if it
         # crashes at the recorded site *and* its instrumented branch directions
         # match the recorded bitvector exactly.  This is what "finding the
@@ -326,13 +365,53 @@ class ReplayEngine:
                                 worker_kind=self.worker_kind)
         pending = PendingList(order=self.search_order, max_size=self.budget.max_pending)
         pending.push(PendingItem(ConstraintSet(), hint={}, reason="initial run"))
+        if self.telemetry:
+            self._registry = MetricsRegistry()
+            # The committing thread runs under the engine registry so the
+            # replay.search span (and any commit-side instrumentation) lands
+            # there; per-item metrics use their own scoped registries and
+            # merge at commit time.
+            with scoped(self._registry):
+                with span("replay.search", order=self.search_order,
+                          workers=self.workers, kind=self.worker_kind):
+                    self._run_search(outcome, pending, start)
+        else:
+            self._registry = None
+            self._run_search(outcome, pending, start)
+        outcome.wall_seconds = time.monotonic() - start
+        outcome.pending_stats = pending.stats()
+        if self._registry is not None:
+            self._finalize_telemetry(outcome)
+        return outcome
+
+    def _run_search(self, outcome: ReplayOutcome, pending: PendingList,
+                    start: float) -> None:
         if self.workers > 1:
             self._search_parallel(outcome, pending, start)
         else:
             self._search_serial(outcome, pending, start)
-        outcome.wall_seconds = time.monotonic() - start
-        outcome.pending_stats = pending.stats()
-        return outcome
+
+    def _finalize_telemetry(self, outcome: ReplayOutcome) -> None:
+        """Record search-level metrics and snapshot the engine registry.
+
+        Everything deterministic here is a pure function of the committed run
+        sequence; per-machine facts (worker count/kind, speculation, wall
+        clocks) are timing-marked so ``deterministic()`` drops them.
+        """
+
+        registry = self._registry
+        assert registry is not None
+        registry.counter("replay.reproduced").inc(
+            1 if outcome.reproduced else 0)
+        registry.counter("replay.timed_out").inc(1 if outcome.timed_out else 0)
+        for name, value in outcome.pending_stats.items():
+            registry.counter(f"replay.pending.{name}").inc(value)
+        registry.gauge("replay.workers", timing=True).set(self.workers)
+        registry.counter("replay.speculated_items", timing=True).inc(
+            outcome.speculated_items)
+        registry.counter("replay.speculation_hits", timing=True).inc(
+            outcome.speculation_hits)
+        outcome.telemetry = registry.snapshot()
 
     # -- the two search drivers ---------------------------------------------------------------
 
@@ -404,6 +483,8 @@ class ReplayEngine:
             fuse_compare_branch=self.fuse_compare_branch,
             max_call_depth=self.max_call_depth,
             warm_start=self.warm_start,
+            telemetry=self.telemetry,
+            profile_opcodes=self.profile_opcodes,
         )
 
     def _search_parallel(self, outcome: ReplayOutcome, pending: PendingList,
@@ -432,7 +513,15 @@ class ReplayEngine:
                 # Keep idle workers busy on the likely-next items while the
                 # committing thread waits for this one.
                 self._speculate(submit, pending, inflight, outcome)
-                if self._commit(outcome, pending, future.result()):
+                if self._registry is not None:
+                    wait_start = time.perf_counter()
+                    evaluation = future.result()
+                    self._registry.histogram(
+                        "replay.commit_wait_seconds", SECONDS_BUCKETS,
+                        timing=True).observe(time.perf_counter() - wait_start)
+                else:
+                    evaluation = future.result()
+                if self._commit(outcome, pending, evaluation):
                     break
         finally:
             # Drop anything still queued, but wait for the runs already
@@ -490,10 +579,35 @@ class ReplayEngine:
     def _evaluate_item(self, item: PendingItem) -> _ItemEvaluation:
         """Solve and run one pending item — pure, safe for any worker."""
 
-        with vm_compiler.cache_scope() as cache_events:
-            evaluation = self._evaluate_inner(item)
+        if not self.telemetry:
+            with vm_compiler.cache_scope() as cache_events:
+                evaluation = self._evaluate_inner(item)
+            evaluation.cache_hits = cache_events["hits"]
+            evaluation.cache_misses = cache_events["misses"]
+            return evaluation
+        # One registry per item, installed thread-locally: worker threads and
+        # worker processes alike collect into isolated registries, snapshot
+        # them into the (picklable) evaluation, and the commit path merges
+        # snapshots in serial pop order — so the deterministic portion of the
+        # merged registry is byte-identical for every worker configuration.
+        local = MetricsRegistry()
+        item_start = time.perf_counter()
+        with scoped(local):
+            with vm_compiler.cache_scope() as cache_events:
+                evaluation = self._evaluate_inner(item)
         evaluation.cache_hits = cache_events["hits"]
         evaluation.cache_misses = cache_events["misses"]
+        local.histogram("replay.item_seconds", SECONDS_BUCKETS,
+                        timing=True).observe(time.perf_counter() - item_start)
+        if evaluation.ran:
+            local.histogram("replay.item_consumed_bits").observe(
+                evaluation.consumed_bits)
+            local.histogram("replay.item_constraints").observe(
+                evaluation.constraints)
+        if evaluation.solver_calls:
+            local.histogram("replay.item_solver_nodes").observe(
+                evaluation.solver_nodes)
+        evaluation.telemetry = local.snapshot()
         return evaluation
 
     def _evaluate_inner(self, item: PendingItem) -> _ItemEvaluation:
@@ -508,7 +622,11 @@ class ReplayEngine:
                 overrides = warm_start_assignment(item.constraints, item.hint)
                 warm = overrides is not None
             if overrides is None:
+                solve_start = time.perf_counter()
                 solution = solve(item.constraints, hint=item.hint)
+                telemetry_runtime.active().histogram(
+                    "replay.solver_seconds", SECONDS_BUCKETS,
+                    timing=True).observe(time.perf_counter() - solve_start)
                 solver_calls = 1
                 solver_nodes = solution.stats.nodes
                 if not solution.satisfiable or solution.assignment is None:
@@ -545,6 +663,18 @@ class ReplayEngine:
         outcome.warm_start_hits += 1 if evaluation.warm_start else 0
         outcome.compile_cache_hits += evaluation.cache_hits
         outcome.compile_cache_misses += evaluation.cache_misses
+        registry = self._registry
+        if registry is not None:
+            # Merge the item's registry first (commit order = serial pop
+            # order), then fold the flat counters the item snapshot does not
+            # carry.  Cache hits/misses depend on per-process cache warmth,
+            # so they are timing-marked like the compiler's own counters.
+            if evaluation.telemetry is not None:
+                registry.merge_snapshot(evaluation.telemetry)
+            registry.counter("replay.solver_calls").inc(evaluation.solver_calls)
+            registry.counter("replay.solver_nodes").inc(evaluation.solver_nodes)
+            if evaluation.warm_start:
+                registry.counter("replay.warm_start_hits").inc()
         if not evaluation.ran:
             return False  # unsatisfiable constraint set: no run happened
         record = ReplayRunRecord(index=outcome.runs,
@@ -555,6 +685,9 @@ class ReplayEngine:
         outcome.runs += 1
         outcome.run_records.append(record)
         self._update_not_logged(outcome, evaluation)
+        if registry is not None:
+            registry.counter("replay.runs").inc()
+            registry.counter(f"replay.outcome.{record.outcome}").inc()
 
         if record.outcome == "reproduced":
             outcome.reproduced = True
@@ -595,7 +728,9 @@ class ReplayEngine:
                                  backend=self.backend,
                                  specialize_plans=self.specialize_plans,
                                  register_allocation=self.register_allocation,
-                                 fuse_compare_branch=self.fuse_compare_branch)
+                                 fuse_compare_branch=self.fuse_compare_branch,
+                                 profile_opcodes=(self.telemetry
+                                                  and self.profile_opcodes))
         executor = create_backend(self.program, kernel=kernel, hooks=hooks,
                                   binder=binder, config=config)
         result = executor.run(self.environment.argv)

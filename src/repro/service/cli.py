@@ -44,6 +44,10 @@ def build_config(args) -> ReproConfig:
                                             max_seconds=args.max_seconds)
     if hasattr(args, "service_workers"):
         config.service.workers = args.service_workers
+    if getattr(args, "telemetry", False):
+        config.telemetry.enabled = True
+        config.telemetry.profile_vm = getattr(args, "profile_vm", False)
+        config.telemetry.jsonl_path = getattr(args, "telemetry_jsonl", None)
     return config
 
 
@@ -82,8 +86,52 @@ def cmd_record(args) -> int:
 
 
 def cmd_info(args) -> int:
+    if getattr(args, "telemetry", False):
+        # The storage-observability view: per-section byte sizes + CRC as
+        # JSON lines (the same record shape the telemetry sink uses), the
+        # first consumer of the JSONL conventions outside the service.
+        from repro.trace import describe_sections
+
+        with open(args.trace, "rb") as handle:
+            data = handle.read()
+        described = describe_sections(data)
+        base = {"type": "trace_section", "trace": args.trace,
+                "version": described["version"], "crc32": described["crc32"],
+                "crc_ok": described["crc_ok"]}
+        for section in described["sections"]:
+            print(json.dumps(dict(base, name=section["tag"],
+                                  bytes=section["bytes"]), sort_keys=True))
+        print(json.dumps({"type": "trace_total", "trace": args.trace,
+                          "version": described["version"],
+                          "crc32": described["crc32"],
+                          "crc_ok": described["crc_ok"],
+                          "header_bytes": described["header_bytes"],
+                          "payload_bytes": described["payload_bytes"],
+                          "total_bytes": described["total_bytes"]},
+                         sort_keys=True))
+        return 0
     trace = load_trace(args.trace)
     print(json.dumps(trace.describe(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Render telemetry: a service root's live counters or a JSONL sink."""
+
+    from repro.telemetry import read_jsonl, render_summary
+
+    if args.jsonl:
+        print(render_summary(read_jsonl(args.jsonl)))
+        return 0
+    service = ReproService(args.root, config=build_config(args))
+    snapshot = service.telemetry()
+    if args.json:
+        print(json.dumps(service.stats().to_json(), sort_keys=True))
+        print(json.dumps(snapshot.to_json(), sort_keys=True))
+    else:
+        print(f"inbox={json.dumps(service.inbox.describe(), sort_keys=True)}")
+        print(render_summary(
+            [json.loads(line) for line in snapshot.jsonl_lines()]))
     return 0
 
 
@@ -177,6 +225,8 @@ def main(argv=None) -> int:
 
     info = sub.add_parser("info", help="print a trace file's summary")
     info.add_argument("--trace", required=True)
+    info.add_argument("--telemetry", action="store_true",
+                      help="print per-section byte sizes and CRC as JSON lines")
 
     replay = sub.add_parser("replay", help="reproduce a crash from a trace file")
     replay.add_argument("--trace", required=True)
@@ -214,13 +264,36 @@ def main(argv=None) -> int:
     serve.add_argument("--max-clusters", type=int, default=None)
     serve.add_argument("--max-runs", type=int, default=3000)
     serve.add_argument("--max-seconds", type=float, default=120.0)
+    serve.add_argument("--telemetry", action="store_true",
+                       help="record metrics/spans during the batch")
+    serve.add_argument("--profile-vm", action="store_true",
+                       help="with --telemetry: per-opcode VM dispatch counts")
+    serve.add_argument("--telemetry-jsonl", default=None, metavar="PATH",
+                       help="with --telemetry: append snapshots to this "
+                            "JSON-lines sink")
+
+    stats = sub.add_parser(
+        "stats", help="render telemetry from a service root or a JSONL sink")
+    stats.add_argument("--root", default=None,
+                       help="service/inbox state directory")
+    stats.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="render a telemetry JSON-lines sink file instead")
+    stats.add_argument("--json", action="store_true",
+                       help="machine-readable output")
 
     args = parser.parse_args(argv)
+    if args.command == "stats" and not (args.root or args.jsonl):
+        parser.error("stats needs --root or --jsonl")
     handler = {"list": cmd_list, "record": cmd_record,
                "info": cmd_info, "replay": cmd_replay,
-               "inbox": cmd_inbox, "serve-batch": cmd_serve_batch}[args.command]
+               "inbox": cmd_inbox, "serve-batch": cmd_serve_batch,
+               "stats": cmd_stats}[args.command]
     try:
         return handler(args)
+    except BrokenPipeError:
+        # Output piped into a pager/grep that closed early (`... | head`):
+        # the consumer got what it wanted, not an error on our side.
+        return 0
     except TraceError as exc:
         # Bad trace files and mismatched binaries are user-facing outcomes,
         # not tool bugs: report a one-line reason and a distinct exit code

@@ -42,6 +42,7 @@ __all__ = [
     "ReplaySection",
     "ReproConfig",
     "ServiceSection",
+    "TelemetrySection",
 ]
 
 
@@ -97,6 +98,27 @@ class ServiceSection:
     priority: str = "smallest-first"  # or "arrival"
 
 
+@dataclass
+class TelemetrySection:
+    """The observability layer (:mod:`repro.telemetry`).
+
+    ``enabled`` turns on metric recording, spans and per-item telemetry in
+    the replay engine; when off (the default) every instrumentation site
+    resolves to shared no-op singletons and the VM runs its unmodified
+    dispatch loop — zero overhead by construction.  ``profile_vm``
+    additionally swaps in the per-opcode profiling dispatch loop (exact
+    execution counts per opcode, so logged-vs-bare branch mixes and future
+    superinstruction selection become data-driven); it costs one dict update
+    per dispatched instruction, so it defaults off even when telemetry is
+    on.  ``jsonl_path`` appends every exported snapshot to a JSON-lines
+    sink for machine consumption.
+    """
+
+    enabled: bool = False
+    profile_vm: bool = False
+    jsonl_path: Optional[str] = None
+
+
 #: Valid values for the enum-ish string fields, checked by ``from_dict``.
 _PRIORITIES = ("smallest-first", "arrival")
 
@@ -110,6 +132,7 @@ class ReproConfig:
         default_factory=InstrumentationSection)
     replay: ReplaySection = field(default_factory=ReplaySection)
     service: ServiceSection = field(default_factory=ServiceSection)
+    telemetry: TelemetrySection = field(default_factory=TelemetrySection)
 
     # -- legacy shims ----------------------------------------------------------
 
@@ -148,16 +171,25 @@ class ReproConfig:
                     worker_kind=legacy.replay_worker_kind,
                     warm_start=legacy.replay_warm_start,
                 ),
+                telemetry=TelemetrySection(
+                    enabled=legacy.telemetry_enabled,
+                    profile_vm=legacy.profile_opcodes,
+                ),
             )
         if isinstance(legacy, ExecutionConfig):
-            return cls(execution=ExecutionSection(
-                backend=legacy.backend,
-                record_max_steps=legacy.max_steps,
-                max_call_depth=legacy.max_call_depth,
-                specialize_plans=legacy.specialize_plans,
-                register_allocation=legacy.register_allocation,
-                fuse_compare_branch=legacy.fuse_compare_branch,
-            ))
+            return cls(
+                execution=ExecutionSection(
+                    backend=legacy.backend,
+                    record_max_steps=legacy.max_steps,
+                    max_call_depth=legacy.max_call_depth,
+                    specialize_plans=legacy.specialize_plans,
+                    register_allocation=legacy.register_allocation,
+                    fuse_compare_branch=legacy.fuse_compare_branch,
+                ),
+                telemetry=TelemetrySection(
+                    profile_vm=legacy.profile_opcodes,
+                ),
+            )
         raise TypeError(
             f"cannot lift {type(legacy).__name__} into a ReproConfig "
             "(expected PipelineConfig or ExecutionConfig)")
@@ -181,6 +213,8 @@ class ReproConfig:
             register_allocation=self.execution.register_allocation,
             fuse_compare_branch=self.execution.fuse_compare_branch,
             max_call_depth=self.execution.max_call_depth,
+            telemetry_enabled=self.telemetry.enabled,
+            profile_opcodes=self.telemetry.profile_vm,
         )
 
     def execution_config(self, mode: ExecutionMode = ExecutionMode.RECORD,
@@ -202,6 +236,7 @@ class ReproConfig:
             specialize_plans=self.execution.specialize_plans,
             register_allocation=self.execution.register_allocation,
             fuse_compare_branch=self.execution.fuse_compare_branch,
+            profile_opcodes=self.telemetry.profile_vm,
         )
 
     # -- dict round-tripping ---------------------------------------------------
@@ -228,6 +263,7 @@ class ReproConfig:
                 "warm_start": self.replay.warm_start,
             },
             "service": _plain_fields(self.service),
+            "telemetry": _plain_fields(self.telemetry),
         }
 
     @classmethod
@@ -241,7 +277,7 @@ class ReproConfig:
         """
 
         _reject_unknown(payload, ("execution", "instrumentation", "replay",
-                                  "service"), "ReproConfig")
+                                  "service", "telemetry"), "ReproConfig")
         execution = _section_from_dict(ExecutionSection,
                                        payload.get("execution", {}),
                                        "execution")
@@ -250,12 +286,15 @@ class ReproConfig:
         replay = _replay_from_dict(payload.get("replay", {}))
         service = _section_from_dict(ServiceSection,
                                      payload.get("service", {}), "service")
+        telemetry = _section_from_dict(TelemetrySection,
+                                       payload.get("telemetry", {}),
+                                       "telemetry")
         if service.priority not in _PRIORITIES:
             raise ValueError(
                 f"service.priority must be one of {_PRIORITIES}, "
                 f"got {service.priority!r}")
         return cls(execution=execution, instrumentation=instrumentation,
-                   replay=replay, service=service)
+                   replay=replay, service=service, telemetry=telemetry)
 
 
 # ---------------------------------------------------------------------------

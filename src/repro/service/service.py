@@ -33,6 +33,14 @@ from repro.lang.program import Program
 from repro.replay.engine import ReplayEngine, ReplayOutcome
 from repro.service.config import ReproConfig
 from repro.service.inbox import IngestResult, TraceCluster, TraceInbox
+from repro.telemetry import (
+    MetricsRegistry,
+    RegistrySnapshot,
+    SECONDS_BUCKETS,
+    scoped,
+    span,
+    write_jsonl,
+)
 from repro.trace import TraceError, load_trace
 
 __all__ = [
@@ -167,7 +175,15 @@ class ReproductionReport:
 
 @dataclass
 class ServiceStats:
-    """Aggregate service counters (the observability surface)."""
+    """Aggregate service counters (the observability surface).
+
+    .. deprecated:: 0.4
+        Thin shim over the :mod:`repro.telemetry` registry: the live
+        counters are the ``service.*`` metrics on
+        :meth:`ReproService.telemetry`, and :meth:`ReproService.stats`
+        builds this dataclass from them.  Kept as the stable typed surface
+        for existing callers (CLI, benchmarks, experiments).
+    """
 
     traces_ingested: int = 0
     clusters_total: int = 0
@@ -180,18 +196,24 @@ class ServiceStats:
     process_wall_seconds: float = 0.0
 
     @property
-    def dedup_ratio(self) -> float:
-        """Traces served per replay search (1.0 = no dedup win)."""
+    def dedup_ratio(self) -> Optional[float]:
+        """Traces served per replay search (1.0 = no dedup win).
+
+        ``None`` before any search has run: an empty batch has no ratio, and
+        the old ``1.0`` placeholder read as "we ran searches and saved
+        nothing", which is not what an idle service did.
+        """
 
         if not self.searches_run:
-            return 1.0
+            return None
         return self.reports_fanned_out / self.searches_run
 
     def to_json(self) -> Dict[str, object]:
         payload = {name: getattr(self, name)
                    for name in self.__dataclass_fields__}
         payload["process_wall_seconds"] = round(self.process_wall_seconds, 4)
-        payload["dedup_ratio"] = round(self.dedup_ratio, 4)
+        if self.dedup_ratio is not None:
+            payload["dedup_ratio"] = round(self.dedup_ratio, 4)
         return payload
 
 
@@ -238,6 +260,11 @@ class ReproSession:
         return {trace_id: self.service.report(trace_id)
                 for trace_id in self.trace_ids}
 
+    def telemetry(self) -> "RegistrySnapshot":
+        """The service's metrics snapshot (see :meth:`ReproService.telemetry`)."""
+
+        return self.service.telemetry()
+
     def __enter__(self) -> "ReproSession":
         return self
 
@@ -265,21 +292,37 @@ class ReproService:
         self._resolver = resolver
         self._programs: Dict[str, Program] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
-        self._searches_run = 0
-        self._reports_fanned_out = 0
-        self._reproduced_clusters = 0
-        self._process_wall = 0.0
+        # The service's metrics registry is always real — ServiceStats reads
+        # from it, so the counters must count with telemetry off too.  The
+        # ``telemetry.enabled`` knob gates the *extra* surface: wall-clock
+        # metrics (ingest latency), spans, per-search registry merges, VM
+        # profiling and the JSON-lines sink.
+        self._registry = MetricsRegistry()
+        self._telemetry_on = config.telemetry.enabled
+        #: perf_counter arrival stamp per trace_id, consumed when the
+        #: trace's cluster commits (ingest→report latency).
+        self._arrivals: Dict[str, float] = {}
+        self._flushes = 0
 
     # -- ingestion (delegated) --------------------------------------------------
 
+    def _note_arrival(self, result: IngestResult) -> IngestResult:
+        self._registry.counter("service.traces_ingested").inc()
+        if result.duplicate:
+            self._registry.counter("service.duplicate_traces").inc()
+        if self._telemetry_on:
+            self._arrivals[result.trace_id] = time.perf_counter()
+        return result
+
     def ingest_bytes(self, data: bytes, source: str = "bytes") -> IngestResult:
-        return self.inbox.ingest_bytes(data, source=source)
+        return self._note_arrival(self.inbox.ingest_bytes(data, source=source))
 
     def ingest_file(self, path: str) -> IngestResult:
-        return self.inbox.ingest_file(path)
+        return self._note_arrival(self.inbox.ingest_file(path))
 
     def poll_spool(self, spool_dir: str) -> List[IngestResult]:
-        return self.inbox.poll_spool(spool_dir)
+        return [self._note_arrival(result)
+                for result in self.inbox.poll_spool(spool_dir)]
 
     def session(self, name: str = "") -> ReproSession:
         return ReproSession(self, name)
@@ -336,7 +379,23 @@ class ReproService:
         clusters = self.inbox.pending_clusters(self.config.service.priority)
         if max_clusters is not None:
             clusters = clusters[:max_clusters]
+        self._registry.gauge("service.queue_depth", timing=True).set(
+            len(clusters))
         reports: Dict[str, ReproductionReport] = {}
+        if self._telemetry_on:
+            with scoped(self._registry):
+                with span("service.process", clusters=len(clusters)):
+                    self._process_clusters(clusters, reports)
+        else:
+            self._process_clusters(clusters, reports)
+        self._registry.counter("service.process_wall_seconds",
+                               timing=True).inc(time.perf_counter() - start)
+        if self._telemetry_on and self.config.telemetry.jsonl_path:
+            self.flush_telemetry(self.config.telemetry.jsonl_path)
+        return reports
+
+    def _process_clusters(self, clusters: List[TraceCluster],
+                          reports: Dict[str, ReproductionReport]) -> None:
         jobs: List[Tuple[TraceCluster, object]] = []
         for cluster in clusters:
             try:
@@ -352,8 +411,6 @@ class ReproService:
         for cluster, job in jobs:
             outcome = job.result() if hasattr(job, "result") else job
             self._commit_cluster(cluster, outcome, reports)
-        self._process_wall += time.perf_counter() - start
-        return reports
 
     def _engine_for(self, cluster: TraceCluster) -> ReplayEngine:
         representative = cluster.members[0]
@@ -380,13 +437,20 @@ class ReproService:
             fuse_compare_branch=execution.fuse_compare_branch,
             max_call_depth=execution.max_call_depth,
             warm_start=replay.warm_start,
+            telemetry=self.config.telemetry.enabled,
+            profile_opcodes=self.config.telemetry.profile_vm,
         )
 
     def _commit_cluster(self, cluster: TraceCluster, outcome: ReplayOutcome,
                         reports: Dict[str, ReproductionReport]) -> None:
-        self._searches_run += 1
+        self._registry.counter("service.searches_run").inc()
         if outcome.reproduced:
-            self._reproduced_clusters += 1
+            self._registry.counter("service.reproduced_clusters").inc()
+        if outcome.telemetry is not None:
+            # Pull the search's own metrics (replay.* counters/histograms,
+            # vm.* profiling) into the service registry; the snapshot crossed
+            # the pool boundary as plain picklable data.
+            self._registry.merge_snapshot(outcome.telemetry)
         representative = cluster.members[0]
         base = ReproductionReport.from_outcome(
             outcome, trace_id=representative, cluster_id=cluster.cluster_id,
@@ -398,7 +462,8 @@ class ReproService:
             else:
                 reports[trace_id] = ReproductionReport.from_json(
                     base.to_json(), trace_id=trace_id, cluster=cluster)
-            self._reports_fanned_out += 1
+            self._registry.counter("service.reports_fanned_out").inc()
+            self._observe_latency(trace_id)
 
     def _fail_cluster(self, cluster: TraceCluster, exc: Exception,
                       reports: Dict[str, ReproductionReport]) -> None:
@@ -410,10 +475,28 @@ class ReproService:
             "warm_start_hits": 0, "error": reason,
         }
         self.inbox.mark_done(cluster.cluster_id, payload, failed=True)
+        self._registry.counter("service.failed_clusters").inc()
         for trace_id in cluster.members:
             reports[trace_id] = ReproductionReport.from_json(
                 payload, trace_id=trace_id, cluster=cluster)
-            self._reports_fanned_out += 1
+            self._registry.counter("service.reports_fanned_out").inc()
+            self._observe_latency(trace_id)
+
+    def _observe_latency(self, trace_id: str) -> None:
+        """Ingest→report latency for one served trace (telemetry only).
+
+        The ``service.ingest_latency`` histogram is the paper-service SLO
+        metric: time from a trace entering the inbox to its report being
+        fanned out.  Only traces ingested by *this* process carry an arrival
+        stamp; clusters restored from a persisted inbox do not.
+        """
+
+        arrival = self._arrivals.pop(trace_id, None)
+        if arrival is None:
+            return
+        self._registry.histogram(
+            "service.ingest_latency", SECONDS_BUCKETS,
+            timing=True).observe(time.perf_counter() - arrival)
 
     # -- queries ----------------------------------------------------------------
 
@@ -428,17 +511,38 @@ class ReproService:
 
     def stats(self) -> ServiceStats:
         described = self.inbox.describe()
+        counters = self._registry.snapshot().counters
         return ServiceStats(
             traces_ingested=described["traces"],
             clusters_total=described["clusters"],
             clusters_pending=described["pending"],
             clusters_done=described["done"],
-            searches_run=self._searches_run,
-            reports_fanned_out=self._reports_fanned_out,
-            reproduced_clusters=self._reproduced_clusters,
+            searches_run=int(counters.get("service.searches_run", 0)),
+            reports_fanned_out=int(
+                counters.get("service.reports_fanned_out", 0)),
+            reproduced_clusters=int(
+                counters.get("service.reproduced_clusters", 0)),
             rejected_traces=described["rejected"],
-            process_wall_seconds=self._process_wall,
+            process_wall_seconds=float(
+                counters.get("service.process_wall_seconds", 0.0)),
         )
+
+    def telemetry(self) -> RegistrySnapshot:
+        """A snapshot of the service registry (the typed export surface).
+
+        Always available; with ``telemetry.enabled`` it additionally carries
+        the per-search replay/VM metrics, spans and latency histograms.
+        """
+
+        return self._registry.snapshot()
+
+    def flush_telemetry(self, path: str) -> None:
+        """Append the current registry snapshot to the JSON-lines sink."""
+
+        self._flushes += 1
+        write_jsonl(path, self._registry.snapshot(),
+                    context={"source": "repro.service", "flush": self._flushes},
+                    append=self._flushes > 1)
 
     # -- lifecycle --------------------------------------------------------------
 

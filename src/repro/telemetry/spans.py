@@ -1,0 +1,67 @@
+"""Lightweight spans: named, attributed wall-clock intervals that nest.
+
+``with span("replay.search", cluster=cid): ...`` records one
+:class:`~repro.telemetry.registry.SpanRecord` into the active registry when
+the block exits.  Nesting depth is tracked per thread, so a timeline renders
+as an indented tree without the records needing parent pointers.  Spans are
+always wall-clock data — they never appear in deterministic snapshots.
+
+When telemetry is disabled the context manager is a shared no-op singleton:
+no clock is read and nothing allocates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.telemetry import runtime
+from repro.telemetry.registry import SpanRecord
+
+__all__ = ["span"]
+
+_DEPTH_TLS = threading.local()
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    __slots__ = ("name", "attrs", "registry", "start", "depth")
+
+    def __init__(self, name: str, attrs, registry) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.registry = registry
+
+    def __enter__(self) -> "_Span":
+        self.depth = getattr(_DEPTH_TLS, "depth", 0)
+        _DEPTH_TLS.depth = self.depth + 1
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        seconds = time.perf_counter() - self.start
+        _DEPTH_TLS.depth = self.depth
+        self.registry.record_span(SpanRecord(
+            name=self.name, depth=self.depth, start=self.start,
+            seconds=seconds, attrs=tuple(sorted(self.attrs.items()))))
+
+
+def span(name: str, **attrs):
+    """A context manager timing one named interval into the active registry."""
+
+    registry = runtime.active()
+    if not registry.enabled:
+        return _NULL_SPAN
+    return _Span(name, attrs, registry)

@@ -551,6 +551,46 @@ def load_trace_bytes(data: bytes,
     return trace
 
 
+def describe_sections(data: bytes) -> Dict[str, object]:
+    """Per-section byte sizes and checksum of an encoded trace.
+
+    The ``info --telemetry`` observability surface: where the bytes of a bug
+    report go (bitvector vs syscall results vs input scaffold), plus the
+    header facts a transport would care about.  Parses only the envelope —
+    section bodies are *not* decoded, so this works on traces whose payload
+    a newer writer extended, as long as the envelope grammar held.
+    """
+
+    reader = _Reader(data, "trace header")
+    magic = reader._take(len(TRACE_MAGIC))
+    if magic != TRACE_MAGIC:
+        raise TraceFormatError(
+            f"not a trace file: bad magic {magic!r} (expected {TRACE_MAGIC!r})")
+    version = reader.u32()
+    payload_len = reader.u64()
+    crc_expected = reader.u32()
+    payload = reader._take(payload_len)
+    reader.expect_end("trace file")
+    crc_actual = zlib.crc32(payload) & 0xFFFFFFFF
+    sections = []
+    body_reader = _Reader(payload, "trace payload")
+    while not body_reader.exhausted():
+        tag = body_reader._take(4)
+        body = body_reader.blob()
+        sections.append({"tag": tag.decode("ascii", "replace"),
+                         "bytes": len(body)})
+    header_bytes = len(data) - payload_len
+    return {
+        "version": version,
+        "total_bytes": len(data),
+        "header_bytes": header_bytes,
+        "payload_bytes": payload_len,
+        "crc32": f"{crc_expected:#010x}",
+        "crc_ok": crc_actual == crc_expected,
+        "sections": sections,
+    }
+
+
 def save_trace(path: str, trace: Trace) -> str:
     """Write *trace* to *path*; returns the path for convenience."""
 

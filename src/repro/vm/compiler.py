@@ -38,6 +38,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.interp.builtins import lookup_builtin
 from repro.interp.values import ZERO, concrete
+from repro.telemetry import runtime as telemetry_runtime
 from repro.lang.ast_nodes import (
     ArrayIndex,
     Assign,
@@ -89,7 +90,15 @@ _CACHE_STATS_LOCK = threading.Lock()
 
 
 def cache_stats() -> Dict[str, int]:
-    """Hit/miss counters of the ``(Program, plan)`` compiled-code cache."""
+    """Hit/miss counters of the ``(Program, plan)`` compiled-code cache.
+
+    .. deprecated:: 0.4
+        Thin shim kept for pre-telemetry callers.  The same events flow into
+        the active :mod:`repro.telemetry` registry as the timing-marked
+        ``vm.compile_cache.hits`` / ``vm.compile_cache.misses`` counters
+        (timing-marked because cache warmth is per-process, not a property
+        of the committed run sequence).
+    """
 
     with _CACHE_STATS_LOCK:
         return dict(_CACHE_STATS)
@@ -111,7 +120,14 @@ _SCOPE_TLS = threading.local()
 
 @contextlib.contextmanager
 def cache_scope() -> Iterator[Dict[str, int]]:
-    """Count this thread's compile-cache hits/misses while the scope is open."""
+    """Count this thread's compile-cache hits/misses while the scope is open.
+
+    .. deprecated:: 0.4
+        Shim over the :mod:`repro.telemetry` runtime: a
+        ``telemetry.scoped(registry)`` block now captures the same events as
+        ``vm.compile_cache.*`` counters.  The replay engine still uses this
+        scope to fill the legacy per-evaluation fields.
+    """
 
     events = {"hits": 0, "misses": 0}
     previous = getattr(_SCOPE_TLS, "events", None)
@@ -128,6 +144,10 @@ def _count_event(kind: str) -> None:
     events = getattr(_SCOPE_TLS, "events", None)
     if events is not None:
         events[kind] += 1
+    # Mirror into the active telemetry registry (a shared no-op when
+    # telemetry is off, so this costs one attribute lookup + method call).
+    telemetry_runtime.active().counter(
+        f"vm.compile_cache.{kind}", timing=True).inc()
 
 
 def compile_program(program: Program, plan=None,

@@ -73,6 +73,75 @@ from repro.vm.compiler import compile_program
 
 _MISSING = object()
 
+#: Lazily built profiling variant of the dispatch loop; ``None`` until the
+#: first request, ``False`` if the source is unavailable (frozen builds).
+_PROFILED_EXEC_CACHE: List[object] = [None]
+
+
+def _build_profiled_exec():
+    """Generate the per-opcode-counting dispatch loop from the real one.
+
+    The profiler requirement is *zero* overhead when off — not even one
+    flag test per dispatched instruction — so instead of branching inside
+    the hot loop, a profiling variant of :meth:`VirtualMachine._exec_code`
+    is generated mechanically from its own source: parse it, insert
+    ``_profile[opcode] = _profile.get(opcode, 0) + 1`` right after the
+    instruction fetch, and compile the result in this module's namespace.
+    The shipped loop stays untouched (the off path executes literally
+    unmodified code), and the profiled loop cannot drift from it because it
+    *is* it.  Returns ``None`` when the source cannot be retrieved.
+    """
+
+    import ast
+    import inspect
+    import textwrap
+
+    try:
+        lines, first_line = inspect.getsourcelines(VirtualMachine._exec_code)
+        tree = ast.parse(textwrap.dedent("".join(lines)))
+    except (OSError, TypeError, SyntaxError):  # pragma: no cover - frozen
+        return None
+    fn = tree.body[0]
+    if not isinstance(fn, ast.FunctionDef):  # pragma: no cover - defensive
+        return None
+    loop = next((node for node in fn.body if isinstance(node, ast.While)),
+                None)
+    if loop is None:  # pragma: no cover - defensive
+        return None
+    # Count right after the first statement that binds ``opcode`` (the
+    # instruction fetch) so every dispatch iteration counts exactly once,
+    # before any opcode arm can ``continue``.
+    fetch_index = None
+    for index, stmt in enumerate(loop.body):
+        if isinstance(stmt, ast.Assign) and any(
+                isinstance(el, ast.Name) and el.id == "opcode"
+                for target in stmt.targets
+                if isinstance(target, ast.Tuple) for el in target.elts):
+            fetch_index = index
+            break
+    if fetch_index is None:  # pragma: no cover - defensive
+        return None
+    counting = ast.parse(
+        "_profile[opcode] = _profile.get(opcode, 0) + 1").body[0]
+    loop.body.insert(fetch_index + 1, counting)
+    fn.body.insert(0, ast.parse("_profile = self.opcode_counts").body[0])
+    fn.name = "_exec_code_profiled"
+    ast.fix_missing_locations(tree)
+    ast.increment_lineno(tree, first_line - 1)
+    namespace: Dict[str, object] = {}
+    exec(compile(tree, __file__, "exec"), globals(), namespace)
+    return namespace["_exec_code_profiled"]
+
+
+def _profiled_exec_code():
+    """The cached profiling dispatch loop, or ``None`` if unavailable."""
+
+    cached = _PROFILED_EXEC_CACHE[0]
+    if cached is None:
+        cached = _build_profiled_exec()
+        _PROFILED_EXEC_CACHE[0] = cached if cached is not None else False
+    return None if cached is False else cached
+
 #: Interned concrete values for the slot superinstructions' inline
 #: arithmetic.  ``ConcolicValue`` is a frozen dataclass — construction costs
 #: more than the arithmetic itself — and immutable, so results in the common
@@ -183,6 +252,15 @@ class VirtualMachine:
             self._replay_bits = bits if bits is not None else list(bitvector)
             self._replay_len = len(self._replay_bits)
             self._cursor_cell = self.hooks.cursor_cell
+        # Per-opcode execution counts (telemetry).  When enabled, the
+        # generated profiling dispatch loop shadows the class method on this
+        # instance; when off, nothing changes anywhere near the hot loop.
+        self.opcode_counts: Optional[Dict[int, int]] = None
+        if self.config.profile_opcodes:
+            profiled = _profiled_exec_code()
+            if profiled is not None:
+                self.opcode_counts = {}
+                self._exec_code = profiled.__get__(self, VirtualMachine)
 
     def _select_specialization(self) -> Optional[str]:
         if not self.config.specialize_plans:
@@ -252,7 +330,26 @@ class VirtualMachine:
         result.syscall_count = len(self.kernel.trace)
         result.stdout = self.kernel.stdout_text()
         result.wall_seconds = time.monotonic() - start
+        if self.opcode_counts is not None:
+            self._publish_opcode_counts()
         return result
+
+    def _publish_opcode_counts(self) -> None:
+        """Merge the profiled dispatch counts into the active registry.
+
+        ``vm.opcode.<NAME>`` counters are exact per-opcode execution counts;
+        the logged-vs-bare branch split falls out directly because
+        ``BRANCH_LOGGED`` / ``BRANCH_BARE`` (and their compare-and-branch
+        fusions) are distinct opcodes.
+        """
+
+        from repro.telemetry import runtime as telemetry_runtime
+
+        registry = telemetry_runtime.active()
+        counter = registry.counter
+        for opcode, count in self.opcode_counts.items():
+            name = op.OPCODE_NAMES.get(opcode, str(opcode))
+            counter(f"vm.opcode.{name}").inc(count)
 
     def _call_main(self, argv: List[str]) -> Value:
         main_fn = self.program.main
