@@ -20,7 +20,7 @@ pool's pickling overhead cannot be amortized) and can be disabled with
 
 import os
 
-from repro.experiments import print_table, replay_search_exp, service_exp
+from repro.experiments import net_exp, print_table, replay_search_exp, service_exp
 from benchmarks.conftest import run_once
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
@@ -48,11 +48,26 @@ def test_replay_search_speedup(benchmark):
           f"{telemetry['overhead_ratio']}x "
           f"({telemetry['wall_seconds_off']}s off, "
           f"{telemetry['wall_seconds_on']}s on)")
+    # The network ingestion layer: a concurrent client fleet shipping the
+    # duplicate-heavy batch over TCP, clean and fault-injected; each row
+    # asserts zero lost reports and byte-identity vs single-shot internally
+    # and records sustained traces/sec + p99 ingest latency.
+    net_rows = net_exp.net_rows(smoke=SMOKE)
+    print_table(net_rows, "Upload server - fleet over TCP, clean vs faulty")
     artifact = replay_search_exp.write_artifact(rows, inbox_rows=inbox_rows,
-                                                telemetry=telemetry)
+                                                telemetry=telemetry,
+                                                net=net_rows)
     print(f"wrote {artifact}")
     assert telemetry["identical_tree"]
     assert telemetry["snapshot"]["counters"]["replay.runs"] == telemetry["runs"]
+    for row in net_rows:
+        assert row["lost_reports"] == 0, f"{row['scenario']} lost reports"
+        assert row["acked"] == row["uploads"], f"{row['scenario']} lost acks"
+        assert row["traces_per_sec"] is not None
+    faulty = [r for r in net_rows if r["faults"] is not None]
+    assert faulty, "no fault-injected scenario ran"
+    assert all(r["poison_rejected"] > 0 for r in faulty), (
+        "the rejection ledger absorbed no poison uploads")
     for row in inbox_rows:
         assert row["reproduced"], f"{row['scenario']}: a cluster failed"
         assert row["searches_run"] == row["clusters"]

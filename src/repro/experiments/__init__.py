@@ -18,6 +18,7 @@ from repro.experiments import (
     coreutils_exp,
     diff_exp,
     micro_exp,
+    net_exp,
     replay_search_exp,
     service_exp,
     userver_exp,
@@ -29,6 +30,7 @@ __all__ = [
     "diff_exp",
     "format_table",
     "micro_exp",
+    "net_exp",
     "print_table",
     "replay_search_exp",
     "service_exp",

@@ -267,14 +267,17 @@ def telemetry_rows(smoke: bool = False, repeats: int = 2,
 
 def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json",
                    inbox_rows: Optional[List[Dict[str, object]]] = None,
-                   telemetry: Optional[Dict[str, object]] = None) -> str:
+                   telemetry: Optional[Dict[str, object]] = None,
+                   net: Optional[List[Dict[str, object]]] = None) -> str:
     """Dump the rows as the PR-over-PR tracking artifact.
 
     ``inbox_rows`` (see :mod:`repro.experiments.service_exp`) records the
     service layer's batch-inbox throughput — traces/sec and dedup ratio —
     next to the per-search wall-clocks; ``telemetry`` (see
     :func:`telemetry_rows`) the cost and deterministic content of running
-    the same search instrumented.
+    the same search instrumented; ``net`` (see
+    :mod:`repro.experiments.net_exp`) the concurrent upload server's
+    sustained traces/sec and p99 ingest latency, clean and fault-injected.
     """
 
     payload = {
@@ -286,6 +289,8 @@ def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json
         payload["inbox"] = inbox_rows
     if telemetry is not None:
         payload["telemetry"] = telemetry
+    if net is not None:
+        payload["net"] = net
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return path

@@ -39,7 +39,21 @@ from repro.service.config import (
     ReproConfig,
     ServiceSection,
 )
-from repro.service.inbox import IngestResult, TraceCluster, TraceInbox
+from repro.service.faults import FaultInjector, FaultSpec, NULL_FAULTS
+from repro.service.inbox import (
+    IngestResult,
+    SpoolJournal,
+    TraceCluster,
+    TraceInbox,
+    TraceTooLargeError,
+)
+from repro.service.net import (
+    UploadClient,
+    UploadFailed,
+    UploadReceipt,
+    UploadRejected,
+    UploadServer,
+)
 from repro.service.service import (
     ReproService,
     ReproSession,
@@ -50,8 +64,11 @@ from repro.service.service import (
 
 __all__ = [
     "ExecutionSection",
+    "FaultInjector",
+    "FaultSpec",
     "IngestResult",
     "InstrumentationSection",
+    "NULL_FAULTS",
     "ReplaySection",
     "ReproConfig",
     "ReproService",
@@ -59,8 +76,15 @@ __all__ = [
     "ReproductionReport",
     "ServiceSection",
     "ServiceStats",
+    "SpoolJournal",
     "TraceCluster",
     "TraceInbox",
+    "TraceTooLargeError",
+    "UploadClient",
+    "UploadFailed",
+    "UploadReceipt",
+    "UploadRejected",
+    "UploadServer",
     "outcome_fingerprint",
     "workload_pipeline",
 ]

@@ -183,6 +183,103 @@ def cmd_inbox(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the concurrent trace-upload server until SIGTERM/SIGINT."""
+
+    import os
+    import signal
+    import threading
+
+    from repro.service import FaultInjector, FaultSpec, UploadServer
+
+    config = build_config(args)
+    overrides = (("max_trace_bytes", "max_trace_bytes"),
+                 ("queue_depth", "ingest_queue_depth"),
+                 ("partitions", "spool_partitions"),
+                 ("spool_writers", "spool_writers"),
+                 ("read_timeout", "read_timeout_seconds"),
+                 ("client_quota", "client_quota"))
+    for arg_name, field_name in overrides:
+        value = getattr(args, arg_name)
+        if value is not None:
+            setattr(config.service, field_name, value)
+    faults = None
+    if args.faults:
+        faults = FaultInjector(FaultSpec.from_json(json.loads(args.faults)))
+
+    server = UploadServer(args.root, config=config, host=args.host,
+                          port=args.port, faults=faults)
+    if args.port_file:
+        # Atomic write: a watcher that sees the file sees the full port.
+        tmp = args.port_file + ".tmp"
+        with open(tmp, "w") as handle:
+            handle.write(str(server.port))
+        os.replace(tmp, args.port_file)
+
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    server.start()
+    print(f"serving on {server.host}:{server.port} root={args.root} "
+          f"recovered={len(server.recovered)}", flush=True)
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        server.shutdown()  # graceful drain: queued uploads spool + ack first
+    print(f"drained; "
+          f"stats={json.dumps(server.service.stats().to_json(), sort_keys=True)}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """Ship a duplicate-heavy upload fleet at a running ``serve`` process."""
+
+    from repro.experiments import net_exp
+    from repro.service import FaultSpec, UploadClient
+
+    port = args.port
+    if args.port_file:
+        with open(args.port_file) as handle:
+            port = int(handle.read().strip())
+    if port is None:
+        print("loadgen needs --port or --port-file", file=sys.stderr)
+        return 2
+    fault_spec = None
+    if args.faults:
+        fault_spec = FaultSpec.from_json(json.loads(args.faults))
+
+    payloads = net_exp.record_payloads(net_exp.FLEETS[args.fleet],
+                                       build_config(args))
+    summary = net_exp.run_fleet(args.host, port, payloads,
+                                clients=args.clients, fault_spec=fault_spec,
+                                seed=args.seed, timeout=args.timeout,
+                                max_attempts=args.max_attempts,
+                                poison=args.poison)
+    receipts = summary.pop("receipts")
+
+    lost = []
+    if args.process:
+        control = UploadClient(args.host, port, client_id="loadgen-control",
+                               timeout=args.timeout)
+        control.process()
+        for _index, receipt in sorted(receipts.items()):
+            body = control.report(receipt.trace_id)
+            if body.get("status") != "done":
+                lost.append(receipt.trace_id)
+    summary["lost_reports"] = sorted(set(lost))
+    summary["ok"] = bool(
+        not summary["failed"] and not lost
+        and summary["acked"] == summary["uploads"]
+        and summary["poison_rejected"] == args.poison)
+    rendered = json.dumps(summary, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+    return 0 if summary["ok"] else 1
+
+
 def cmd_serve_batch(args) -> int:
     with ReproService(args.root, config=build_config(args)) as service:
         ingested = []
@@ -272,6 +369,71 @@ def main(argv=None) -> int:
                        help="with --telemetry: append snapshots to this "
                             "JSON-lines sink")
 
+    serve_net = sub.add_parser(
+        "serve",
+        help="run the concurrent trace-upload server (TCP, length-prefixed "
+             "frames) until SIGTERM/SIGINT, then drain gracefully")
+    serve_net.add_argument("--root", required=True,
+                           help="service state directory (spool + journal + "
+                                "inbox, created if missing)")
+    serve_net.add_argument("--host", default="127.0.0.1")
+    serve_net.add_argument("--port", type=int, default=0,
+                           help="TCP port (0 = pick an ephemeral port)")
+    serve_net.add_argument("--port-file", default=None, metavar="PATH",
+                           help="atomically write the bound port here once "
+                                "listening (scripted-startup handshake)")
+    serve_net.add_argument("--backend", default="vm",
+                           choices=["interp", "vm"])
+    serve_net.add_argument("--max-trace-bytes", type=int, default=None,
+                           help="reject uploads larger than this many bytes")
+    serve_net.add_argument("--queue-depth", type=int, default=None,
+                           help="bounded ingest queue depth (backpressure)")
+    serve_net.add_argument("--partitions", type=int, default=None,
+                           help="spool shard count (cluster-key hash)")
+    serve_net.add_argument("--spool-writers", type=int, default=None)
+    serve_net.add_argument("--read-timeout", type=float, default=None,
+                           help="per-read socket timeout, seconds "
+                                "(slow-loris shedding)")
+    serve_net.add_argument("--client-quota", type=int, default=None,
+                           help="max distinct uploads per client per run "
+                                "(0 = unlimited)")
+    serve_net.add_argument("--faults", default=None, metavar="JSON",
+                           help="FaultSpec JSON for chaos testing, e.g. "
+                                '\'{"spool_fail_rate": 0.2, '
+                                '"crash_points": ["net.after_commit"]}\'')
+    serve_net.add_argument("--telemetry", action="store_true")
+    serve_net.add_argument("--profile-vm", action="store_true")
+    serve_net.add_argument("--telemetry-jsonl", default=None, metavar="PATH",
+                           help="with --telemetry: append snapshots to this "
+                                "JSON-lines sink on every process request")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="ship a duplicate-heavy upload fleet at a running `serve` "
+             "process; exits 0 only if nothing was lost")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=None)
+    loadgen.add_argument("--port-file", default=None, metavar="PATH",
+                         help="read the server port from this file")
+    loadgen.add_argument("--fleet", default="smoke",
+                         choices=["smoke", "full"])
+    loadgen.add_argument("--clients", type=int, default=3,
+                         help="concurrent uploading client threads")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--timeout", type=float, default=1.0)
+    loadgen.add_argument("--max-attempts", type=int, default=12)
+    loadgen.add_argument("--poison", type=int, default=0,
+                         help="extra garbage uploads that must be rejected")
+    loadgen.add_argument("--faults", default=None, metavar="JSON",
+                         help="client-side FaultSpec JSON (drop/truncate/"
+                              "corrupt/slow rates)")
+    loadgen.add_argument("--process", action="store_true",
+                         help="after uploading, trigger replay searches and "
+                              "verify every acked upload has a report")
+    loadgen.add_argument("--backend", default="vm", choices=["interp", "vm"])
+    loadgen.add_argument("--out", default=None, metavar="PATH",
+                         help="also write the JSON summary here")
+
     stats = sub.add_parser(
         "stats", help="render telemetry from a service root or a JSONL sink")
     stats.add_argument("--root", default=None,
@@ -287,6 +449,7 @@ def main(argv=None) -> int:
     handler = {"list": cmd_list, "record": cmd_record,
                "info": cmd_info, "replay": cmd_replay,
                "inbox": cmd_inbox, "serve-batch": cmd_serve_batch,
+               "serve": cmd_serve, "loadgen": cmd_loadgen,
                "stats": cmd_stats}[args.command]
     try:
         return handler(args)

@@ -89,6 +89,32 @@ class ServiceSection:
     runs cluster searches inline.  Either way the per-cluster search tree is
     byte-identical to the single-shot path — the replay engine's commit
     discipline guarantees it.
+
+    The remaining knobs parameterize the robustness surface shared by the
+    inbox and the network listener (:mod:`repro.service.net`):
+
+    * ``max_trace_bytes`` — hard upper bound on one bug report; an oversized
+      upload or spool file is rejected with a ledger entry *before* it is
+      buffered into memory (the listener refuses the frame from its declared
+      length alone).
+    * ``max_rejected_entries`` — size cap of the rejection ledger; oldest
+      entries are evicted so a sustained garbage-upload storm cannot grow
+      ``inbox.json`` without limit.
+    * ``ingest_queue_depth`` / ``spool_writers`` — the listener's bounded
+      ingest queue and the threads draining it into the journaled spool;
+      when the queue is full the server answers *retry-after* instead of
+      buffering, which is the backpressure signal the client's seeded
+      exponential backoff consumes.
+    * ``spool_partitions`` — the spool shards across this many inbox
+      partitions; a trace's partition is its cluster-key hash modulo N, so
+      duplicates of one bug always land (and dedup) in the same shard.
+    * ``read_timeout_seconds`` — per-``recv`` socket timeout; a slow-loris
+      client stalls only its own connection, which is closed at the first
+      silent interval, never the accept loop or other clients.
+    * ``client_quota`` — max accepted uploads per client id per server run
+      (0 = unlimited); the misbehaving client gets quota responses while
+      healthy clients keep their full ingest bandwidth.
+    * ``retry_after_seconds`` — the hint carried by a retry-after response.
     """
 
     workers: int = 1
@@ -96,6 +122,14 @@ class ServiceSection:
     persist: bool = True
     store_traces: bool = True
     priority: str = "smallest-first"  # or "arrival"
+    max_trace_bytes: int = 4 * 1024 * 1024
+    max_rejected_entries: int = 256
+    ingest_queue_depth: int = 64
+    spool_writers: int = 1
+    spool_partitions: int = 4
+    read_timeout_seconds: float = 5.0
+    client_quota: int = 0
+    retry_after_seconds: float = 0.05
 
 
 @dataclass

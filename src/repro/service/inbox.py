@@ -29,7 +29,26 @@ The inbox is the receiving dock for that traffic:
 
 Corrupt or truncated trace files never poison a batch: they are recorded in
 the rejection ledger (with the one-line reason) and skipped on subsequent
-polls.
+polls.  The ledger is *bounded* (``max_rejected`` entries, oldest evicted)
+so a sustained garbage storm cannot grow ``inbox.json`` without limit, and
+every rejection increments a ``service.rejected.<reason>`` telemetry
+counter when the inbox is given a registry.
+
+A file that merely *looks* corrupt may simply still be in flight: an
+external transport writing a spool file in place is indistinguishable from
+a truncated upload until the writer finishes.  :meth:`TraceInbox.poll_spool`
+therefore gives every unparsable file a grace poll — it is only rejected
+once its size and mtime are unchanged across two consecutive polls (see
+``_suspects``); a growing file is skipped and retried.
+
+For the network deployment the spool is sharded into ``part-NN``
+subdirectories (one per inbox partition, a trace's shard being its
+cluster-key hash modulo N — see :func:`partition_index`) and writes go
+through :class:`SpoolJournal` + :func:`journaled_spool_write`: an
+append-only intent journal plus write-to-temp / atomic-rename, so a
+``kill -9`` at any point leaves either a fully committed spool file or a
+temp file the journal recovery deletes — never a half-written ``*.trace``
+that a restarted poll would mistake for a report.
 """
 
 from __future__ import annotations
@@ -43,11 +62,27 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.trace import Trace, TraceError, load_trace_bytes
 
-__all__ = ["IngestResult", "TraceCluster", "TraceInbox"]
+__all__ = [
+    "IngestResult",
+    "SpoolJournal",
+    "TraceCluster",
+    "TraceInbox",
+    "TraceTooLargeError",
+    "journaled_spool_write",
+    "partition_dirs",
+    "partition_index",
+]
 
 _STATE_FILE = "inbox.json"
 _TRACE_DIR = "traces"
 _STATE_VERSION = 1
+_JOURNAL_FILE = "journal.log"
+_PART_PREFIX = "part-"
+_TMP_SUFFIX = ".part"
+
+
+class TraceTooLargeError(TraceError):
+    """An upload or spool file exceeded ``service.max_trace_bytes``."""
 
 
 def _bug_key(trace: Trace) -> str:
@@ -90,6 +125,145 @@ def _recording_digest(trace: Trace) -> str:
 
 def _cluster_id(bug_key: str, recording_digest: str) -> str:
     return f"{bug_key}-{recording_digest[:8]}"
+
+
+# ---------------------------------------------------------------------------
+# spool partitions and the crash-safe journal
+# ---------------------------------------------------------------------------
+
+
+def partition_index(bug_key: str, partitions: int) -> int:
+    """The spool shard for a trace: its cluster-key hash modulo N.
+
+    The bug key is already a uniform hex hash, so taking it modulo the
+    partition count spreads distinct bugs evenly while pinning every
+    duplicate of one bug to the same shard (duplicates dedup locally).
+    """
+
+    if partitions <= 1:
+        return 0
+    return int(bug_key, 16) % partitions
+
+
+def partition_dirs(spool_root: str, partitions: int) -> List[str]:
+    """The ``part-NN`` shard directories under *spool_root* (created)."""
+
+    dirs = []
+    for index in range(max(1, partitions)):
+        path = os.path.join(spool_root, f"{_PART_PREFIX}{index:02d}")
+        os.makedirs(path, exist_ok=True)
+        dirs.append(path)
+    return dirs
+
+
+class SpoolJournal:
+    """Append-only intent journal making spool writes crash-safe.
+
+    Protocol per write (see :func:`journaled_spool_write`):
+
+    1. the payload is written to ``<final>.part`` and flushed;
+    2. ``BEGIN <key> <final>`` is appended (and fsynced);
+    3. the temp file is atomically renamed onto ``<final>``;
+    4. ``COMMIT <key>`` is appended (and fsynced).
+
+    A ``kill -9`` between any two steps leaves a state :meth:`recover` can
+    classify purely from the journal plus the filesystem: a BEGIN without a
+    COMMIT whose final file exists was interrupted *after* the atomic rename
+    (the write is durable — re-commit it); one whose final file is missing
+    was interrupted before (delete the orphan temp; the client never got an
+    acknowledgement and will retry).  Acknowledgements are only sent after
+    step 4, so an acknowledged trace always survives restart.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.path = os.path.join(root, _JOURNAL_FILE)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def _append(self, record: Dict[str, str]) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def begin(self, key: str, final_path: str) -> None:
+        self._append({"op": "BEGIN", "key": key,
+                      "path": os.path.abspath(final_path)})
+
+    def commit(self, key: str) -> None:
+        self._append({"op": "COMMIT", "key": key})
+
+    def recover(self) -> Dict[str, str]:
+        """Repair interrupted writes; returns ``{key: final_path}`` durable.
+
+        Idempotent: recovering an already-clean journal changes nothing.
+        Unreadable (torn) trailing lines are ignored — they can only belong
+        to a write that never reached its COMMIT, i.e. was never
+        acknowledged.
+        """
+
+        begun: Dict[str, str] = {}
+        committed: Dict[str, str] = {}
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # torn trailing write of an unacked entry
+                    if record.get("op") == "BEGIN":
+                        begun[record["key"]] = record["path"]
+                    elif record.get("op") == "COMMIT":
+                        if record["key"] in begun:
+                            committed[record["key"]] = begun[record["key"]]
+        except FileNotFoundError:
+            return {}
+        for key, final_path in begun.items():
+            if key in committed:
+                continue
+            if os.path.exists(final_path):
+                # Crash landed between the atomic rename and the COMMIT
+                # record: the data is durable, only the journal is behind.
+                committed[key] = final_path
+                self.commit(key)
+            else:
+                # Crash before the rename: remove the orphan temp.  The
+                # uploader never saw an acknowledgement for this write.
+                try:
+                    os.remove(final_path + _TMP_SUFFIX)
+                except FileNotFoundError:
+                    pass
+        return committed
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+def journaled_spool_write(journal: SpoolJournal, final_path: str,
+                          data: bytes, key: Optional[str] = None,
+                          faults=None) -> str:
+    """Durably write one spool file under the journal's crash protocol.
+
+    *faults* (a :class:`~repro.service.faults.FaultInjector`, duck-typed)
+    lets the chaos harness SIGKILL the process between any two steps —
+    ``spool.after_begin`` and ``spool.after_replace`` are the windows whose
+    recovery the crash tests exercise.
+    """
+
+    key = key or os.path.basename(final_path)
+    tmp = final_path + _TMP_SUFFIX
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    journal.begin(key, final_path)
+    if faults is not None:
+        faults.crash_point("spool.after_begin")
+    os.replace(tmp, final_path)
+    if faults is not None:
+        faults.crash_point("spool.after_replace")
+    journal.commit(key)
+    return final_path
 
 
 @dataclass
@@ -164,11 +338,23 @@ class TraceInbox:
 
     def __init__(self, root: str, persist: bool = True,
                  store_traces: bool = True,
-                 spool_pattern: str = "*.trace") -> None:
+                 spool_pattern: str = "*.trace",
+                 max_trace_bytes: int = 0,
+                 max_rejected: int = 256,
+                 registry=None) -> None:
         self.root = root
         self.persist = persist
         self.store_traces = store_traces
         self.spool_pattern = spool_pattern
+        #: Hard size cap on one trace (0 = unlimited); oversize traces are
+        #: rejected before parsing, and the network listener refuses them
+        #: from the declared frame length before buffering anything.
+        self.max_trace_bytes = max_trace_bytes
+        #: Rejection-ledger size cap; oldest entries are evicted beyond it.
+        self.max_rejected = max_rejected
+        #: Optional :class:`~repro.telemetry.MetricsRegistry` receiving the
+        #: ``service.rejected.<reason>`` counters.
+        self.registry = registry
         self.clusters: Dict[str, TraceCluster] = {}
         #: trace_id -> {cluster, program, scenario, file, source}
         self.traces: Dict[str, Dict[str, object]] = {}
@@ -176,6 +362,13 @@ class TraceInbox:
         self.spooled: Dict[str, str] = {}
         #: spool filename -> one-line rejection reason.
         self.rejected: Dict[str, str] = {}
+        #: Unparsable spool files on their grace poll: path -> (size,
+        #: mtime_ns).  A file is only rejected once it failed to parse *and*
+        #: was unchanged since the previous poll — a file still being
+        #: written (or appearing mid-scan) is skipped and retried instead.
+        #: In-memory only: after a restart a suspect simply re-earns its
+        #: grace poll.
+        self._suspects: Dict[str, Tuple[int, int]] = {}
         self._sequence = 0
         os.makedirs(self.root, exist_ok=True)
         if self.store_traces:
@@ -188,6 +381,7 @@ class TraceInbox:
                      _defer_save: bool = False) -> IngestResult:
         """Ingest one serialized trace; raises ``TraceError`` on bad bytes."""
 
+        self._check_size(len(data), source)
         trace = load_trace_bytes(data)
         self._sequence += 1
         digest = hashlib.sha256(data).hexdigest()[:8]
@@ -233,6 +427,34 @@ class TraceInbox:
             data = handle.read()
         return self.ingest_bytes(data, source=os.path.abspath(path))
 
+    def ingest_spooled(self, path: str, data: bytes) -> IngestResult:
+        """Ingest a spool file whose bytes the caller already holds.
+
+        The network listener's path: it journals *data* into a spool
+        partition itself, then records the ingestion against the file so a
+        restarted :meth:`poll_spool` over the partitions skips it.  Calling
+        it again for an already-ingested path returns the original receipt
+        (flagged ``duplicate``) without re-ingesting — the idempotency the
+        upload retry protocol relies on.
+        """
+
+        path = os.path.abspath(path)
+        known = self.spooled.get(path)
+        if known:
+            entry = self.traces[known]
+            cluster = self.clusters[entry["cluster"]]
+            return IngestResult(trace_id=known,
+                                cluster_id=cluster.cluster_id,
+                                duplicate=True, program=cluster.program,
+                                scenario=cluster.scenario,
+                                crash_site=cluster.crash_site,
+                                bits=cluster.bits, source=path,
+                                bug_key=cluster.bug_key)
+        result = self.ingest_bytes(data, source=path, _defer_save=True)
+        self.spooled[path] = result.trace_id
+        self._save_state()
+        return result
+
     def poll_spool(self, spool_dir: str) -> List[IngestResult]:
         """Ingest every not-yet-seen spool file matching the pattern.
 
@@ -241,7 +463,14 @@ class TraceInbox:
         dedup happens at the cluster level, not here).  Re-polling — in the
         same process or after a restart — skips everything already ingested
         or rejected.  A corrupt file lands in :attr:`rejected` with its
-        one-line reason and never aborts the batch.
+        one-line reason and never aborts the batch — but only after a grace
+        poll: an unparsable file that changed (or vanished) since the last
+        look is treated as still being written and retried, never
+        mis-filed as corrupt (see ``_suspects``).
+
+        ``part-NN`` subdirectories (spool partitions, see
+        :func:`partition_dirs`) are descended into automatically, so one
+        poll covers a sharded spool.
 
         State is persisted once per file, *after* the spool ledger entry is
         recorded, so the on-disk snapshot is always atomic: a crash mid-poll
@@ -255,25 +484,84 @@ class TraceInbox:
         except FileNotFoundError:
             return results
         for name in entries:
+            full = os.path.join(spool_dir, name)
+            if name.startswith(_PART_PREFIX) and os.path.isdir(full):
+                results.extend(self.poll_spool(full))
+                continue
             if not fnmatch.fnmatch(name, self.spool_pattern):
                 continue
-            path = os.path.abspath(os.path.join(spool_dir, name))
+            path = os.path.abspath(full)
             if path in self.spooled or path in self.rejected:
+                continue
+            try:
+                stamp = os.stat(path)
+            except OSError:
+                continue  # vanished mid-scan; retry next poll if it returns
+            if self.max_trace_bytes and stamp.st_size > self.max_trace_bytes:
+                # Oversize is rejectable immediately: a file still growing
+                # past the cap will only ever stay oversize.
+                self._reject(path, TraceTooLargeError(
+                    f"spool file is {stamp.st_size} bytes "
+                    f"(max_trace_bytes={self.max_trace_bytes})"))
                 continue
             try:
                 with open(path, "rb") as handle:
                     data = handle.read()
                 result = self.ingest_bytes(data, source=path,
                                            _defer_save=True)
+            except FileNotFoundError:
+                continue  # vanished between stat and read
             except (TraceError, OSError) as exc:
-                self.rejected[path] = f"{type(exc).__name__}: " + \
-                    " ".join(str(exc).split())
-                self._save_state()
+                signature = (stamp.st_size, stamp.st_mtime_ns)
+                previous = self._suspects.get(path)
+                if previous != signature:
+                    # First failure, or the file changed since we last
+                    # looked: likely still being written.  Skip; re-examine
+                    # on the next poll.
+                    self._suspects[path] = signature
+                    continue
+                del self._suspects[path]
+                self._reject(path, exc)
                 continue
+            self._suspects.pop(path, None)
             self.spooled[path] = result.trace_id
             self._save_state()
             results.append(result)
         return results
+
+    def reject(self, source: str, exc: Exception) -> None:
+        """Record a rejection originating outside the poll loop.
+
+        The network listener's entry point: a corrupt, oversized or
+        over-quota upload gets a ledger entry under a ``net:`` pseudo-source
+        so the damage is visible in ``inbox.json`` and the
+        ``service.rejected.*`` counters, exactly like a bad spool file.
+        """
+
+        self._reject(source, exc)
+
+    def _reject(self, source: str, exc: Exception) -> None:
+        """Ledger one rejection (bounded) and bump its telemetry counter."""
+
+        reason = f"{type(exc).__name__}: " + " ".join(str(exc).split())
+        self.rejected.pop(source, None)  # re-insertion moves it to newest
+        self.rejected[source] = reason
+        self._evict_rejected()
+        if self.registry is not None:
+            self.registry.counter(
+                f"service.rejected.{type(exc).__name__}").inc()
+        self._save_state()
+
+    def _evict_rejected(self) -> None:
+        while len(self.rejected) > self.max_rejected > 0:
+            oldest = next(iter(self.rejected))
+            del self.rejected[oldest]
+
+    def _check_size(self, size: int, source: str) -> None:
+        if self.max_trace_bytes and size > self.max_trace_bytes:
+            raise TraceTooLargeError(
+                f"trace from {source} is {size} bytes "
+                f"(max_trace_bytes={self.max_trace_bytes})")
 
     # -- scheduling -------------------------------------------------------------
 
@@ -369,3 +657,4 @@ class TraceInbox:
                          for cid, entry in payload.get("clusters", {}).items()}
         self.spooled = dict(payload.get("spooled", {}))
         self.rejected = dict(payload.get("rejected", {}))
+        self._evict_rejected()

@@ -22,6 +22,7 @@ a per-connection context takes once a network transport fronts the inbox.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -284,20 +285,23 @@ class ReproService:
         elif isinstance(config, PipelineConfig):
             config = ReproConfig.from_legacy(config)
         self.config = config
-        self.inbox = TraceInbox(root,
-                                persist=config.service.persist,
-                                store_traces=config.service.store_traces,
-                                spool_pattern=config.service.spool_pattern)
-        self._programs_src = dict(programs or {})
-        self._resolver = resolver
-        self._programs: Dict[str, Program] = {}
-        self._pool: Optional[ProcessPoolExecutor] = None
         # The service's metrics registry is always real — ServiceStats reads
         # from it, so the counters must count with telemetry off too.  The
         # ``telemetry.enabled`` knob gates the *extra* surface: wall-clock
         # metrics (ingest latency), spans, per-search registry merges, VM
         # profiling and the JSON-lines sink.
         self._registry = MetricsRegistry()
+        self.inbox = TraceInbox(root,
+                                persist=config.service.persist,
+                                store_traces=config.service.store_traces,
+                                spool_pattern=config.service.spool_pattern,
+                                max_trace_bytes=config.service.max_trace_bytes,
+                                max_rejected=config.service.max_rejected_entries,
+                                registry=self._registry)
+        self._programs_src = dict(programs or {})
+        self._resolver = resolver
+        self._programs: Dict[str, Program] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
         self._telemetry_on = config.telemetry.enabled
         #: perf_counter arrival stamp per trace_id, consumed when the
         #: trace's cluster commits (ingest→report latency).
@@ -323,6 +327,26 @@ class ReproService:
     def poll_spool(self, spool_dir: str) -> List[IngestResult]:
         return [self._note_arrival(result)
                 for result in self.inbox.poll_spool(spool_dir)]
+
+    def ingest_spooled(self, path: str, data: bytes) -> IngestResult:
+        """Ingest bytes the caller already journaled into the spool.
+
+        The network listener's path (see :mod:`repro.service.net`): the
+        spool file is durable before this is called, so the receipt this
+        returns is safe to acknowledge to the uploader.  An idempotent
+        re-ingest of an already-recorded path returns the original receipt
+        without re-counting an arrival.
+        """
+
+        known = os.path.abspath(path) in self.inbox.spooled
+        result = self.inbox.ingest_spooled(path, data)
+        return result if known else self._note_arrival(result)
+
+    @property
+    def registry(self):
+        """The live service metrics registry (counters always count)."""
+
+        return self._registry
 
     def session(self, name: str = "") -> ReproSession:
         return ReproSession(self, name)

@@ -36,6 +36,7 @@ from repro.telemetry.registry import (
     RegistrySnapshot,
     SECONDS_BUCKETS,
     SpanRecord,
+    histogram_quantile,
 )
 from repro.telemetry.runtime import (
     NULL_REGISTRY,
@@ -63,6 +64,7 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "histogram_quantile",
     "read_jsonl",
     "render_summary",
     "scoped",

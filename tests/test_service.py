@@ -93,7 +93,11 @@ class TestInboxIngestion:
 
         inbox = TraceInbox(str(tmp_path / "inbox"))
         results = inbox.poll_spool(str(spool))
-        assert len(results) == 3  # .txt ignored, corrupt rejected
+        assert len(results) == 3  # .txt ignored, corrupt skipped for now
+        # The unparsable file gets one grace poll (it could be mid-write);
+        # unchanged on the second poll, it is rejected for good.
+        assert len(inbox.rejected) == 0
+        assert inbox.poll_spool(str(spool)) == []
         assert len(inbox.rejected) == 1
         reason = next(iter(inbox.rejected.values()))
         assert "TraceFormatError" in reason and "\n" not in reason
