@@ -20,7 +20,8 @@ pool's pickling overhead cannot be amortized) and can be disabled with
 
 import os
 
-from repro.experiments import net_exp, print_table, replay_search_exp, service_exp
+from repro.experiments import (checkpoint_exp, net_exp, print_table,
+                               replay_search_exp, service_exp)
 from benchmarks.conftest import run_once
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
@@ -54,12 +55,24 @@ def test_replay_search_speedup(benchmark):
     # and records sustained traces/sec + p99 ingest latency.
     net_rows = net_exp.net_rows(smoke=SMOKE)
     print_table(net_rows, "Upload server - fleet over TCP, clean vs faulty")
+    # Fault-tolerance cost: the same search checkpointed at every commit
+    # and preempted-then-resumed mid-search, each asserting byte-identity
+    # internally before its overhead ratio enters the artifact.
+    checkpoint = checkpoint_exp.checkpoint_rows(smoke=SMOKE,
+                                                repeats=1 if SMOKE else 2)
+    print(f"checkpoint overhead on {checkpoint['scenario']}: "
+          f"{checkpoint['checkpoint_overhead_ratio']}x every-commit, "
+          f"{checkpoint['resume_overhead_ratio']}x preempt+resume "
+          f"({checkpoint['checkpoint_writes']} snapshots)")
     artifact = replay_search_exp.write_artifact(rows, inbox_rows=inbox_rows,
                                                 telemetry=telemetry,
-                                                net=net_rows)
+                                                net=net_rows,
+                                                checkpoint=checkpoint)
     print(f"wrote {artifact}")
     assert telemetry["identical_tree"]
     assert telemetry["snapshot"]["counters"]["replay.runs"] == telemetry["runs"]
+    assert checkpoint["identical_tree"]
+    assert checkpoint["checkpoint_writes"] == checkpoint["commits"] > 0
     for row in net_rows:
         assert row["lost_reports"] == 0, f"{row['scenario']} lost reports"
         assert row["acked"] == row["uploads"], f"{row['scenario']} lost acks"

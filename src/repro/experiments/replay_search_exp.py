@@ -268,7 +268,8 @@ def telemetry_rows(smoke: bool = False, repeats: int = 2,
 def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json",
                    inbox_rows: Optional[List[Dict[str, object]]] = None,
                    telemetry: Optional[Dict[str, object]] = None,
-                   net: Optional[List[Dict[str, object]]] = None) -> str:
+                   net: Optional[List[Dict[str, object]]] = None,
+                   checkpoint: Optional[Dict[str, object]] = None) -> str:
     """Dump the rows as the PR-over-PR tracking artifact.
 
     ``inbox_rows`` (see :mod:`repro.experiments.service_exp`) records the
@@ -277,7 +278,9 @@ def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json
     :func:`telemetry_rows`) the cost and deterministic content of running
     the same search instrumented; ``net`` (see
     :mod:`repro.experiments.net_exp`) the concurrent upload server's
-    sustained traces/sec and p99 ingest latency, clean and fault-injected.
+    sustained traces/sec and p99 ingest latency, clean and fault-injected;
+    ``checkpoint`` (see :mod:`repro.experiments.checkpoint_exp`) what the
+    supervised fleet's snapshot/preempt/resume machinery costs the search.
     """
 
     payload = {
@@ -291,6 +294,8 @@ def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json
         payload["telemetry"] = telemetry
     if net is not None:
         payload["net"] = net
+    if checkpoint is not None:
+        payload["checkpoint"] = checkpoint
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return path

@@ -6,14 +6,34 @@ from the report, the replay engine searches for a program input that drives
 execution to the same crash.  The partial branch trace prunes the search: a
 run is aborted as soon as it deviates from the recorded path, and alternatives
 are explored through a pending list of constraint sets.
+
+Long searches are interruptible: the engine checkpoints its frontier at
+commit boundaries (:mod:`repro.replay.checkpoint`) and resumes — in another
+process, on another worker, or after a service restart — with a
+byte-identical explored set.
 """
 
 from repro.replay.budget import ReplayBudget
-from repro.replay.engine import ReplayEngine, ReplayOutcome
+from repro.replay.checkpoint import (
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointPolicy,
+    SearchCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.replay.engine import (
+    ReplayEngine,
+    ReplayOutcome,
+    WorkerCrashError,
+)
 from repro.replay.hooks import ReplayRunHooks, RunDeviation
 from repro.replay.pending import PendingList, PendingItem
 
 __all__ = [
+    "CheckpointError",
+    "CheckpointFormatError",
+    "CheckpointPolicy",
     "PendingItem",
     "PendingList",
     "ReplayBudget",
@@ -21,4 +41,8 @@ __all__ = [
     "ReplayOutcome",
     "ReplayRunHooks",
     "RunDeviation",
+    "SearchCheckpoint",
+    "WorkerCrashError",
+    "load_checkpoint",
+    "save_checkpoint",
 ]

@@ -35,8 +35,12 @@ Two worker kinds share that commit discipline:
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -68,6 +72,16 @@ from repro.telemetry import runtime as telemetry_runtime
 from repro.vm import compiler as vm_compiler
 
 WORKER_KINDS = ("thread", "process")
+
+
+class WorkerCrashError(RuntimeError):
+    """A replay worker process died mid-search (SIGKILL, OOM, hard crash).
+
+    The engine's process pool surfaces worker death as this typed error
+    (instead of the raw :class:`BrokenProcessPool`) after recording
+    ``replay.worker_deaths``; the service-side supervisor catches the same
+    condition one level up and resumes the search from its last checkpoint.
+    """
 
 
 @dataclass
@@ -112,6 +126,14 @@ class ReplayOutcome:
     symbolic_logged_executions: int = 0
     symbolic_not_logged_locations: int = 0
     symbolic_not_logged_executions: int = 0
+    # Checkpoint/preemption lifecycle (never part of the explored-set
+    # identity).  ``committed_items`` counts committed evaluations —
+    # including unsatisfiable ones that never ran — and is the commit index
+    # checkpoints are taken at.  A ``preempted`` outcome is a *pause*, not a
+    # result: its checkpoint resumes to the identical final outcome.
+    committed_items: int = 0
+    preempted: bool = False
+    resumed: bool = False
     # Metrics recorded during the search when the engine runs with
     # ``telemetry=True``; ``None`` otherwise.  Timing-marked metrics (wall
     # clocks, per-process cache warmth, speculation) are excluded from
@@ -314,6 +336,18 @@ class ReplayEngine:
         self.telemetry = telemetry
         self.profile_opcodes = profile_opcodes
         self._registry: Optional[MetricsRegistry] = None
+        # Checkpoint/preemption state.  A policy is attached after
+        # construction (attach_checkpointing); a resume source is installed
+        # by from_checkpoint.  All of it is consulted only at commit
+        # boundaries, so the explored set stays a pure function of the
+        # committed sequence.
+        self._ckpt_policy = None
+        self._resume = None
+        self._preempt = threading.Event()
+        self._commits = 0
+        self._elapsed_prior = 0.0
+        self._fault_injector_cache = None
+        self._live_state: Optional[Tuple[ReplayOutcome, PendingList, float]] = None
         # When True (the default), a run only counts as a reproduction if it
         # crashes at the recorded site *and* its instrumented branch directions
         # match the recorded bitvector exactly.  This is what "finding the
@@ -355,18 +389,80 @@ class ReplayEngine:
                    crash_site=trace.crash_site, environment=trace.environment(),
                    **kwargs)
 
+    @classmethod
+    def from_checkpoint(cls, source, policy=None) -> "ReplayEngine":
+        """Rebuild an engine that continues a checkpointed search.
+
+        *source* is a checkpoint path or a loaded
+        :class:`~repro.replay.checkpoint.SearchCheckpoint`.  The returned
+        engine's :meth:`reproduce` restores the pending set, the
+        outcome-so-far, the merged telemetry and the consumed budget clock,
+        then continues from the saved commit boundary — producing a
+        byte-identical explored set and report versus the uninterrupted run.
+        Corrupt checkpoints raise
+        :class:`~repro.replay.checkpoint.CheckpointFormatError` here, before
+        any search work happens.
+        """
+
+        from repro.replay.checkpoint import SearchCheckpoint, load_checkpoint
+
+        ckpt = source if isinstance(source, SearchCheckpoint) \
+            else load_checkpoint(source)
+        engine = ckpt.spec.build_engine()
+        engine._resume = ckpt
+        if policy is not None:
+            engine.attach_checkpointing(policy)
+        return engine
+
     # -- public API -----------------------------------------------------------------------
+
+    def attach_checkpointing(self, policy) -> None:
+        """Install a :class:`~repro.replay.checkpoint.CheckpointPolicy`.
+
+        Kept out of the constructor: checkpointing is an operational concern
+        layered onto an engine (by the supervisor, a test, or the overhead
+        experiment), not part of the search definition a spec pickles.
+        """
+
+        self._ckpt_policy = policy
+        self._fault_injector_cache = None
+
+    def request_preempt(self) -> None:
+        """Ask the running search to checkpoint and stop at the next commit."""
+
+        self._preempt.set()
+
+    def checkpoint(self, path: Optional[str] = None) -> str:
+        """Write the current search state to *path* (or the policy path).
+
+        Only meaningful while a search is live (between commits, or from
+        another thread while the committing thread waits on a worker);
+        raises :class:`~repro.replay.checkpoint.CheckpointError` otherwise.
+        """
+
+        from repro.replay.checkpoint import CheckpointError, save_checkpoint
+
+        if self._live_state is None:
+            raise CheckpointError("no search is running; checkpoint() only "
+                                  "captures a live search between commits")
+        outcome, pending, start = self._live_state
+        target = path or (self._ckpt_policy.path if self._ckpt_policy else "")
+        if not target:
+            raise CheckpointError("no checkpoint path: pass one or attach a "
+                                  "CheckpointPolicy with a path")
+        return save_checkpoint(target, self._make_checkpoint(outcome, pending, start))
 
     def reproduce(self) -> ReplayOutcome:
         """Run the guided search until the bug is reproduced or the budget ends."""
 
         start = time.monotonic()
-        outcome = ReplayOutcome(reproduced=False, workers=self.workers,
-                                worker_kind=self.worker_kind)
-        pending = PendingList(order=self.search_order, max_size=self.budget.max_pending)
-        pending.push(PendingItem(ConstraintSet(), hint={}, reason="initial run"))
+        outcome, pending = self._initial_state()
         if self.telemetry:
             self._registry = MetricsRegistry()
+            if self._resume is not None and self._resume.telemetry is not None:
+                # Resume with the checkpointed metrics so the final merged
+                # registry equals the uninterrupted run's.
+                self._registry.merge_snapshot(self._resume.telemetry)
             # The committing thread runs under the engine registry so the
             # replay.search span (and any commit-side instrumentation) lands
             # there; per-item metrics use their own scoped registries and
@@ -378,34 +474,76 @@ class ReplayEngine:
         else:
             self._registry = None
             self._run_search(outcome, pending, start)
-        outcome.wall_seconds = time.monotonic() - start
+        outcome.wall_seconds = self._elapsed_prior + time.monotonic() - start
         outcome.pending_stats = pending.stats()
         if self._registry is not None:
             self._finalize_telemetry(outcome)
         return outcome
 
+    def _initial_state(self) -> Tuple[ReplayOutcome, PendingList]:
+        """A fresh search frontier, or the one a checkpoint paused at."""
+
+        pending = PendingList(order=self.search_order,
+                              max_size=self.budget.max_pending)
+        if self._resume is None:
+            outcome = ReplayOutcome(reproduced=False, workers=self.workers,
+                                    worker_kind=self.worker_kind)
+            pending.push(PendingItem(ConstraintSet(), hint={}, reason="initial run"))
+            return outcome, pending
+        ckpt = self._resume
+        outcome = dataclasses.replace(
+            ckpt.outcome_state,
+            found_input=dict(ckpt.outcome_state.found_input),
+            pending_stats=dict(ckpt.outcome_state.pending_stats),
+            run_records=list(ckpt.outcome_state.run_records),
+            telemetry=None,
+            workers=self.workers,
+            worker_kind=self.worker_kind,
+            preempted=False,
+            resumed=True)
+        pending._items = list(ckpt.pending_items)
+        pending._seen = set(ckpt.seen_signatures)
+        pending.dropped = ckpt.dropped
+        pending.duplicates = ckpt.duplicates
+        self._commits = ckpt.commits
+        self._elapsed_prior = ckpt.elapsed_seconds
+        return outcome, pending
+
     def _run_search(self, outcome: ReplayOutcome, pending: PendingList,
                     start: float) -> None:
-        if self.workers > 1:
-            self._search_parallel(outcome, pending, start)
-        else:
-            self._search_serial(outcome, pending, start)
+        self._live_state = (outcome, pending, start)
+        try:
+            if self.workers > 1:
+                self._search_parallel(outcome, pending, start)
+            else:
+                self._search_serial(outcome, pending, start)
+        finally:
+            self._live_state = None
 
     def _finalize_telemetry(self, outcome: ReplayOutcome) -> None:
         """Record search-level metrics and snapshot the engine registry.
 
         Everything deterministic here is a pure function of the committed run
         sequence; per-machine facts (worker count/kind, speculation, wall
-        clocks) are timing-marked so ``deterministic()`` drops them.
+        clocks) are timing-marked so ``deterministic()`` drops them.  A
+        *preempted* outcome is a pause, not a result: the final counters are
+        skipped (the resumed run records them once, at the true end), so the
+        deterministic snapshot of the resumed run equals the uninterrupted
+        run's byte for byte.
         """
 
         registry = self._registry
         assert registry is not None
-        registry.counter("replay.reproduced").inc(
-            1 if outcome.reproduced else 0)
-        registry.counter("replay.timed_out").inc(1 if outcome.timed_out else 0)
-        for name, value in outcome.pending_stats.items():
-            registry.counter(f"replay.pending.{name}").inc(value)
+        if not outcome.preempted:
+            registry.counter("replay.reproduced").inc(
+                1 if outcome.reproduced else 0)
+            registry.counter("replay.timed_out").inc(1 if outcome.timed_out else 0)
+            for name, value in outcome.pending_stats.items():
+                registry.counter(f"replay.pending.{name}").inc(value)
+        else:
+            registry.counter("replay.preempted", timing=True).inc()
+        if outcome.resumed:
+            registry.counter("replay.checkpoint.resumes", timing=True).inc()
         registry.gauge("replay.workers", timing=True).set(self.workers)
         registry.counter("replay.speculated_items", timing=True).inc(
             outcome.speculated_items)
@@ -423,6 +561,8 @@ class ReplayEngine:
                 # Nothing left to explore: the search failed outright.
                 break
             if self._commit(outcome, pending, self._evaluate_item(item)):
+                break
+            if self._post_commit(outcome, pending, start):
                 break
 
     def _make_pool(self) -> Tuple[object, Callable[[PendingItem], "object"]]:
@@ -523,11 +663,26 @@ class ReplayEngine:
                     evaluation = future.result()
                 if self._commit(outcome, pending, evaluation):
                     break
+                if self._post_commit(outcome, pending, start):
+                    break
+        except BrokenProcessPool as exc:
+            # A worker process died under us (SIGKILL, OOM, hard crash).
+            # Surface the typed error; the supervisor one level up resumes
+            # the search from its last checkpoint in a fresh process.
+            if self._registry is not None:
+                self._registry.counter("replay.worker_deaths",
+                                       timing=True).inc()
+            raise WorkerCrashError(
+                f"replay worker process died mid-search "
+                f"({self.workers} x {self.worker_kind}): {exc}") from exc
         finally:
             # Drop anything still queued, but wait for the runs already
             # executing: reproduce() must not leak workers that keep burning
             # CPU (and, for threads, reading engine state) after it returns.
-            pool.shutdown(wait=True, cancel_futures=True)
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except BrokenProcessPool:  # already broken: nothing to drain
+                pass
 
     def _speculate(self, submit: Callable[[PendingItem], "object"],
                    pending: PendingList,
@@ -568,11 +723,113 @@ class ReplayEngine:
                 del inflight[key]
 
     def _budget_exhausted(self, outcome: ReplayOutcome, start: float) -> bool:
+        # A resumed search inherits the clock already consumed before its
+        # checkpoint, so the wall budget spans the whole logical search.
         if (outcome.runs >= self.budget.max_runs
-                or time.monotonic() - start > self.budget.max_seconds):
+                or self._elapsed_prior + time.monotonic() - start
+                > self.budget.max_seconds):
             outcome.timed_out = True
             return True
         return False
+
+    # -- checkpointing at commit boundaries ---------------------------------------------------
+
+    def _post_commit(self, outcome: ReplayOutcome, pending: PendingList,
+                     start: float) -> bool:
+        """Checkpoint/heartbeat/preemption bookkeeping after one commit.
+
+        Returns True to *pause* the search (preemption): the outcome is
+        marked ``preempted`` and a checkpoint has been written, so a later
+        :meth:`from_checkpoint` engine finishes it with a byte-identical
+        result.  Runs strictly at commit boundaries — the only points where
+        (pending, outcome) is a consistent, resumable pair.
+        """
+
+        self._commits += 1
+        outcome.committed_items = self._commits
+        policy = self._ckpt_policy
+        if policy is None:
+            return False
+        if policy.heartbeat_path:
+            self._touch(policy.heartbeat_path)
+        preempt = (self._preempt.is_set()
+                   or (policy.preempt_flag and os.path.exists(policy.preempt_flag))
+                   or (policy.preempt_after_commits
+                       and self._commits >= policy.preempt_after_commits))
+        periodic = (policy.every_commits
+                    and self._commits % policy.every_commits == 0)
+        if policy.path and (preempt or periodic):
+            self._write_checkpoint(outcome, pending, start)
+        injector = self._fault_injector()
+        if injector is not None and injector.roll("worker_kill"):
+            injector.kill_now()
+        if preempt:
+            outcome.preempted = True
+            return True
+        return False
+
+    def _make_checkpoint(self, outcome: ReplayOutcome, pending: PendingList,
+                         start: float):
+        from repro.replay.checkpoint import SearchCheckpoint
+
+        return SearchCheckpoint(
+            spec=self._engine_spec(),
+            commits=self._commits,
+            elapsed_seconds=self._elapsed_prior + time.monotonic() - start,
+            pending_items=list(pending._items),
+            seen_signatures=set(pending._seen),
+            dropped=pending.dropped,
+            duplicates=pending.duplicates,
+            outcome_state=dataclasses.replace(outcome, telemetry=None),
+            telemetry=(self._registry.snapshot()
+                       if self._registry is not None else None),
+        )
+
+    def _write_checkpoint(self, outcome: ReplayOutcome, pending: PendingList,
+                          start: float) -> None:
+        from repro.replay.checkpoint import CheckpointError, save_checkpoint
+
+        injector = self._fault_injector()
+        # Count the attempt *before* snapshotting, so the telemetry embedded
+        # in the checkpoint already includes this write: a run resumed from
+        # it then reports the full write count even if the original process
+        # died right after saving (the kill-at-every-commit regime would
+        # otherwise keep the counter perpetually one step behind).
+        if self._registry is not None:
+            self._registry.counter("replay.checkpoint.writes",
+                                   timing=True).inc()
+        try:
+            if injector is not None and injector.roll("checkpoint_fail"):
+                raise OSError("injected checkpoint write failure")
+            save_checkpoint(self._ckpt_policy.path,
+                            self._make_checkpoint(outcome, pending, start))
+        except (OSError, CheckpointError):
+            # A failed checkpoint is lost insurance, not a failed search:
+            # the next crash replays more work, the result stays correct.
+            if self._registry is not None:
+                self._registry.counter("replay.checkpoint.writes",
+                                       timing=True).inc(-1)
+                self._registry.counter("replay.checkpoint.write_failures",
+                                       timing=True).inc()
+
+    def _fault_injector(self):
+        policy = self._ckpt_policy
+        if policy is None or policy.fault_spec is None:
+            return None
+        if self._fault_injector_cache is None:
+            # Lazy import: repro.service imports this module transitively.
+            from repro.service.faults import FaultInjector
+            self._fault_injector_cache = FaultInjector(policy.fault_spec)
+        return self._fault_injector_cache
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        try:
+            with open(path, "a"):
+                pass
+            os.utime(path, None)
+        except OSError:
+            pass  # a lost heartbeat only risks a spurious supervisor restart
 
     # -- internals --------------------------------------------------------------------------
 

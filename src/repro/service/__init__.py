@@ -61,6 +61,12 @@ from repro.service.service import (
     ServiceStats,
     outcome_fingerprint,
 )
+from repro.service.supervisor import (
+    SearchDeadlineExceeded,
+    SearchJob,
+    SearchResult,
+    SearchSupervisor,
+)
 
 __all__ = [
     "ExecutionSection",
@@ -74,6 +80,10 @@ __all__ = [
     "ReproService",
     "ReproSession",
     "ReproductionReport",
+    "SearchDeadlineExceeded",
+    "SearchJob",
+    "SearchResult",
+    "SearchSupervisor",
     "ServiceSection",
     "ServiceStats",
     "SpoolJournal",

@@ -198,11 +198,17 @@ def cmd_serve(args) -> int:
                  ("partitions", "spool_partitions"),
                  ("spool_writers", "spool_writers"),
                  ("read_timeout", "read_timeout_seconds"),
-                 ("client_quota", "client_quota"))
+                 ("client_quota", "client_quota"),
+                 ("search_deadline", "search_deadline_seconds"),
+                 ("checkpoint_every", "checkpoint_every_runs"),
+                 ("search_retries", "max_search_retries"),
+                 ("preempt_after", "preempt_after_seconds"))
     for arg_name, field_name in overrides:
         value = getattr(args, arg_name)
         if value is not None:
             setattr(config.service, field_name, value)
+    if args.no_supervise:
+        config.service.supervised = False
     faults = None
     if args.faults:
         faults = FaultInjector(FaultSpec.from_json(json.loads(args.faults)))
@@ -281,7 +287,30 @@ def cmd_loadgen(args) -> int:
 
 
 def cmd_serve_batch(args) -> int:
-    with ReproService(args.root, config=build_config(args)) as service:
+    from repro.service import FaultInjector, FaultSpec
+
+    config = build_config(args)
+    overrides = (("search_deadline", "search_deadline_seconds"),
+                 ("checkpoint_every", "checkpoint_every_runs"),
+                 ("search_retries", "max_search_retries"),
+                 ("preempt_after", "preempt_after_seconds"))
+    for arg_name, field_name in overrides:
+        value = getattr(args, arg_name, None)
+        if value is not None:
+            setattr(config.service, field_name, value)
+    if args.no_supervise:
+        config.service.supervised = False
+    with ReproService(args.root, config=config) as service:
+        if args.faults:
+            injector = FaultInjector(FaultSpec.from_json(json.loads(args.faults)))
+            service.search_faults = injector.spec
+            service.search_fault_injector = injector
+        resumable = service.resume_scan()
+        if resumable:
+            # Exactly-once across restarts: these clusters had a live search
+            # when the previous process died; their checkpoints survive and
+            # the supervisor resumes each from its last commit boundary.
+            print(f"resuming {len(resumable)} in-flight searches")
         ingested = []
         if args.spool:
             ingested = service.poll_spool(args.spool)
@@ -361,6 +390,23 @@ def main(argv=None) -> int:
     serve.add_argument("--max-clusters", type=int, default=None)
     serve.add_argument("--max-runs", type=int, default=3000)
     serve.add_argument("--max-seconds", type=float, default=120.0)
+    serve.add_argument("--search-deadline", type=float, default=None,
+                       help="per-search wall-clock deadline, seconds "
+                            "(0 = none)")
+    serve.add_argument("--checkpoint-every", type=int, default=None,
+                       help="checkpoint each search every N committed runs "
+                            "(0 = only on preemption)")
+    serve.add_argument("--search-retries", type=int, default=None,
+                       help="restarts from checkpoint after a worker crash "
+                            "before the cluster is quarantined")
+    serve.add_argument("--preempt-after", type=float, default=None,
+                       help="preempt a search after this many seconds when "
+                            "smaller searches wait (0 = never)")
+    serve.add_argument("--no-supervise", action="store_true",
+                       help="run searches inline without the supervisor")
+    serve.add_argument("--faults", default=None, metavar="JSON",
+                       help="FaultSpec JSON for chaos testing search workers, "
+                            'e.g. \'{"worker_kill_rate": 0.1}\'')
     serve.add_argument("--telemetry", action="store_true",
                        help="record metrics/spans during the batch")
     serve.add_argument("--profile-vm", action="store_true",
@@ -397,9 +443,24 @@ def main(argv=None) -> int:
     serve_net.add_argument("--client-quota", type=int, default=None,
                            help="max distinct uploads per client per run "
                                 "(0 = unlimited)")
+    serve_net.add_argument("--search-deadline", type=float, default=None,
+                           help="per-search wall-clock deadline, seconds "
+                                "(0 = none)")
+    serve_net.add_argument("--checkpoint-every", type=int, default=None,
+                           help="checkpoint each search every N committed "
+                                "runs (0 = only on preemption)")
+    serve_net.add_argument("--search-retries", type=int, default=None,
+                           help="restarts from checkpoint after a worker "
+                                "crash before the cluster is quarantined")
+    serve_net.add_argument("--preempt-after", type=float, default=None,
+                           help="preempt a search after this many seconds "
+                                "when smaller searches wait (0 = never)")
+    serve_net.add_argument("--no-supervise", action="store_true",
+                           help="run searches inline without the supervisor")
     serve_net.add_argument("--faults", default=None, metavar="JSON",
                            help="FaultSpec JSON for chaos testing, e.g. "
                                 '\'{"spool_fail_rate": 0.2, '
+                                '"worker_kill_rate": 0.1, '
                                 '"crash_points": ["net.after_commit"]}\'')
     serve_net.add_argument("--telemetry", action="store_true")
     serve_net.add_argument("--profile-vm", action="store_true")

@@ -115,6 +115,32 @@ class ServiceSection:
       (0 = unlimited); the misbehaving client gets quota responses while
       healthy clients keep their full ingest bandwidth.
     * ``retry_after_seconds`` — the hint carried by a retry-after response.
+
+    The supervision knobs govern the two-level scheduler
+    (:mod:`repro.service.supervisor`): with ``supervised`` on (the default),
+    cluster searches that need isolation — a multi-worker pool, a deadline,
+    preemption, or fault injection — run in supervised child processes that
+    checkpoint at commit boundaries, survive worker death, and resume after
+    service restarts.
+
+    * ``search_deadline_seconds`` — per-search wall-clock deadline (0 = no
+      deadline); a wedged search is killed and its cluster failed with a
+      typed ``SearchDeadlineExceeded`` report instead of blocking the batch.
+    * ``preempt_after_seconds`` — a running search older than this is asked
+      to checkpoint and yield when a *smaller* search waits (0 = never).
+    * ``heartbeat_timeout_seconds`` — a worker silent this long is treated
+      as dead (killed and restarted from its last checkpoint).
+    * ``max_search_retries`` — crash-restarts per cluster before the
+      cluster is quarantined into the rejection ledger as a poison search.
+    * ``retry_backoff_seconds`` — base of the exponential backoff between
+      crash-restarts.
+    * ``checkpoint_every_runs`` — snapshot cadence in committed items.
+      0 (the default) disables checkpointing, keeping plain single-worker
+      batches on the cheap inline path; any positive cadence routes
+      searches through the supervisor so the snapshots have a process to
+      save.  Preemption writes a snapshot regardless of cadence.
+    * ``checkpoint_dir`` — where snapshots live; empty means
+      ``<inbox root>/checkpoints``.
     """
 
     workers: int = 1
@@ -130,6 +156,14 @@ class ServiceSection:
     read_timeout_seconds: float = 5.0
     client_quota: int = 0
     retry_after_seconds: float = 0.05
+    supervised: bool = True
+    search_deadline_seconds: float = 0.0
+    preempt_after_seconds: float = 0.0
+    heartbeat_timeout_seconds: float = 30.0
+    max_search_retries: int = 2
+    retry_backoff_seconds: float = 0.05
+    checkpoint_every_runs: int = 0
+    checkpoint_dir: str = ""
 
 
 @dataclass

@@ -37,7 +37,8 @@ from typing import Dict, Tuple
 __all__ = ["FaultInjector", "FaultSpec", "NULL_FAULTS"]
 
 #: The injectable fault kinds; ``<kind>_rate`` fields of :class:`FaultSpec`.
-FAULT_KINDS = ("drop", "truncate", "corrupt", "slow", "spool_fail")
+FAULT_KINDS = ("drop", "truncate", "corrupt", "slow", "spool_fail",
+               "worker_kill", "checkpoint_fail")
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,16 @@ class FaultSpec:
     #: the lever that deterministically fills the bounded ingest queue so
     #: overload/backpressure paths can be exercised.
     spool_delay_seconds: float = 0.0
+    #: Worker: a supervised replay-search worker SIGKILLs itself after a
+    #: committed item (an OOM-killed / crashed search process); the
+    #: supervisor must restart it from its last checkpoint.  The per-kind
+    #: stream restarts with each worker attempt, so with checkpointing on,
+    #: every retry deterministically advances past the previous kill.
+    worker_kill_rate: float = 0.0
+    #: Worker: a checkpoint write raises ``OSError`` (failing disk); the
+    #: search must shrug — a lost checkpoint costs replayed work on the
+    #: next crash, never a wrong report.
+    checkpoint_fail_rate: float = 0.0
     #: Server: SIGKILL self the first time each named point is reached.
     crash_points: Tuple[str, ...] = ()
 
@@ -76,6 +87,8 @@ class FaultSpec:
             "slow_rate": self.slow_rate,
             "spool_fail_rate": self.spool_fail_rate,
             "spool_delay_seconds": self.spool_delay_seconds,
+            "worker_kill_rate": self.worker_kill_rate,
+            "checkpoint_fail_rate": self.checkpoint_fail_rate,
             "crash_points": list(self.crash_points),
         }
 
@@ -143,6 +156,14 @@ class FaultInjector:
 
         if name not in self.spec.crash_points:
             return
+        kill = getattr(signal, "SIGKILL", None)
+        if kill is None:  # non-POSIX fallback: hard exit, no cleanup
+            os._exit(137)
+        os.kill(os.getpid(), kill)
+
+    def kill_now(self) -> None:
+        """SIGKILL this process unconditionally (a fired ``worker_kill``)."""
+
         kill = getattr(signal, "SIGKILL", None)
         if kill is None:  # non-POSIX fallback: hard exit, no cleanup
             os._exit(137)

@@ -193,6 +193,41 @@ class SpoolJournal:
     def commit(self, key: str) -> None:
         self._append({"op": "COMMIT", "key": key})
 
+    # -- search-state records (supervised scheduler) -------------------------------------
+    #
+    # SEARCH_BEGIN/SEARCH_END bracket a cluster's replay search the same way
+    # BEGIN/COMMIT bracket a spool write.  :meth:`recover` silently skips
+    # unknown ops, so journals written by a build with search records stay
+    # readable by builds without them (and vice versa).
+
+    def search_begin(self, cluster_id: str) -> None:
+        self._append({"op": "SEARCH_BEGIN", "key": cluster_id})
+
+    def search_end(self, cluster_id: str) -> None:
+        self._append({"op": "SEARCH_END", "key": cluster_id})
+
+    def recover_searches(self) -> List[str]:
+        """Cluster ids whose search began but never ended — in flight at a
+        crash, candidates for checkpoint resume (first-begun order)."""
+
+        begun: List[str] = []
+        ended = set()
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue
+                    if record.get("op") == "SEARCH_BEGIN":
+                        if record["key"] not in begun:
+                            begun.append(record["key"])
+                    elif record.get("op") == "SEARCH_END":
+                        ended.add(record["key"])
+        except FileNotFoundError:
+            return []
+        return [key for key in begun if key not in ended]
+
     def recover(self) -> Dict[str, str]:
         """Repair interrupted writes; returns ``{key: final_path}`` durable.
 

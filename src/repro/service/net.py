@@ -273,6 +273,13 @@ class UploadServer:
         self.config = config
         self.faults = faults or NULL_FAULTS
         self.service = service or ReproService(root, config=config)
+        if self.faults is not NULL_FAULTS:
+            # Hand the chaos spec through to the supervised scheduler: the
+            # worker-side seeded streams (worker_kill / checkpoint_fail)
+            # travel as the picklable spec, the supervisor-side crash points
+            # (e.g. supervisor.after_checkpoint) use the live injector.
+            self.service.search_faults = self.faults.spec
+            self.service.search_fault_injector = self.faults
         svc = config.service
         self.max_frame_bytes = svc.max_trace_bytes + _FRAME_SLACK
         self.spool_root = os.path.join(root, _SPOOL_DIR)
@@ -316,6 +323,11 @@ class UploadServer:
             # of an upload acked by a predecessor dedups instead of
             # re-ingesting.
             results = self.service.poll_spool(self.spool_root)
+            # Reconcile the checkpoint store: searches in flight when the
+            # previous process died stay pending and resume from their
+            # checkpoints — exactly once — on the next process request;
+            # snapshots of already-reported clusters are deleted.
+            self.resumable = self.service.resume_scan()
         return [result.trace_id for result in results]
 
     def start(self) -> "UploadServer":

@@ -31,9 +31,15 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.config import PipelineConfig
 from repro.instrument.methods import InstrumentationMethod, build_plan
 from repro.lang.program import Program
-from repro.replay.engine import ReplayEngine, ReplayOutcome
+from repro.replay.engine import ReplayEngine, ReplayOutcome, WorkerCrashError
 from repro.service.config import ReproConfig
-from repro.service.inbox import IngestResult, TraceCluster, TraceInbox
+from repro.service.inbox import IngestResult, SpoolJournal, TraceCluster, \
+    TraceInbox
+from repro.service.supervisor import (
+    SearchDeadlineExceeded,
+    SearchJob,
+    SearchSupervisor,
+)
 from repro.telemetry import (
     MetricsRegistry,
     RegistrySnapshot,
@@ -303,6 +309,14 @@ class ReproService:
         self._programs: Dict[str, Program] = {}
         self._pool: Optional[ProcessPoolExecutor] = None
         self._telemetry_on = config.telemetry.enabled
+        #: Seeded fault spec shipped into supervised search workers
+        #: (worker_kill / checkpoint_fail streams); set by the chaos harness
+        #: or the network listener when it runs with faults.
+        self.search_faults = None
+        #: Supervisor-side injector for in-process crash points
+        #: (e.g. ``supervisor.after_checkpoint``).
+        self.search_fault_injector = None
+        self._search_journal: Optional[SpoolJournal] = None
         #: perf_counter arrival stamp per trace_id, consumed when the
         #: trace's cluster commits (ingest→report latency).
         self._arrivals: Dict[str, float] = {}
@@ -418,8 +432,29 @@ class ReproService:
             self.flush_telemetry(self.config.telemetry.jsonl_path)
         return reports
 
+    def _use_supervisor(self) -> bool:
+        """Supervised dispatch whenever a search needs process isolation.
+
+        Multi-worker batches, checkpointing, deadlines, preemption and
+        fault injection all require searches the service can kill, restart
+        and resume; plain single-worker batches keep the cheap inline path
+        (identical results either way — the engine's commit discipline).
+        """
+
+        svc = self.config.service
+        if not svc.supervised:
+            return False
+        return (svc.workers > 1
+                or svc.checkpoint_every_runs > 0
+                or svc.search_deadline_seconds > 0
+                or svc.preempt_after_seconds > 0
+                or self.search_faults is not None)
+
     def _process_clusters(self, clusters: List[TraceCluster],
                           reports: Dict[str, ReproductionReport]) -> None:
+        if self._use_supervisor():
+            self._process_supervised(clusters, reports)
+            return
         jobs: List[Tuple[TraceCluster, object]] = []
         for cluster in clusters:
             try:
@@ -435,6 +470,96 @@ class ReproService:
         for cluster, job in jobs:
             outcome = job.result() if hasattr(job, "result") else job
             self._commit_cluster(cluster, outcome, reports)
+
+    def _process_supervised(self, clusters: List[TraceCluster],
+                            reports: Dict[str, ReproductionReport]) -> None:
+        """Dispatch the batch through the crash-surviving scheduler.
+
+        Terminal supervisor states map onto the report surface: ``ok``
+        commits like any search; ``deadline`` fails the cluster with a typed
+        :class:`~repro.service.supervisor.SearchDeadlineExceeded`;
+        ``quarantined`` (retries exhausted, or a corrupt checkpoint)
+        additionally lands in the rejection ledger so operators see poison
+        searches where they already look for poison uploads.
+        """
+
+        supervisor = SearchSupervisor(
+            self.inbox.root, self.config, registry=self._registry,
+            journal=self._journal(), fault_spec=self.search_faults,
+            faults=self.search_fault_injector)
+        jobs: List[SearchJob] = []
+        by_id: Dict[str, TraceCluster] = {}
+        for cluster in clusters:
+            try:
+                engine = self._engine_for(cluster)
+            except (TraceError, KeyError) as exc:
+                self._fail_cluster(cluster, exc, reports)
+                continue
+            jobs.append(SearchJob(cluster_id=cluster.cluster_id,
+                                  spec=engine.to_spec(), bits=cluster.bits))
+            by_id[cluster.cluster_id] = cluster
+        results = supervisor.run(jobs)
+        for job in jobs:
+            cluster = by_id[job.cluster_id]
+            result = results.get(job.cluster_id)
+            if result is None:  # defensive: the supervisor always answers
+                self._fail_cluster(cluster, WorkerCrashError(
+                    "supervisor returned no result"), reports)
+            elif result.kind == "ok":
+                self._commit_cluster(cluster, result.outcome, reports)
+            elif result.kind == "deadline":
+                self._fail_cluster(cluster,
+                                   SearchDeadlineExceeded(result.error),
+                                   reports)
+            elif result.kind == "quarantined":
+                exc = WorkerCrashError(result.error)
+                self.inbox.reject(f"cluster:{cluster.cluster_id}", exc)
+                self._fail_cluster(cluster, exc, reports)
+            else:  # "failed": a typed in-worker error, no retry value
+                self._fail_cluster(cluster, WorkerCrashError(result.error),
+                                   reports)
+
+    def _journal(self) -> SpoolJournal:
+        """The service-root journal carrying SEARCH_BEGIN/END records."""
+
+        if self._search_journal is None:
+            self._search_journal = SpoolJournal(self.inbox.root)
+        return self._search_journal
+
+    def resume_scan(self) -> List[str]:
+        """Startup reconciliation of the checkpoint store (crash recovery).
+
+        Deletes checkpoints (and flags/heartbeats/orphaned results) of
+        clusters that are no longer pending — their reports are durable, the
+        snapshot is stale — and returns the cluster ids whose searches were
+        in flight when the previous process died.  Those clusters are still
+        ``pending``, so the next :meth:`process` resumes each from its
+        checkpoint exactly once; the SEARCH_BEGIN/END journal records make
+        the same fact auditable after the files are gone.
+        """
+
+        svc = self.config.service
+        checkpoint_dir = svc.checkpoint_dir or os.path.join(
+            self.inbox.root, "checkpoints")
+        resumable: List[str] = []
+        if not os.path.isdir(checkpoint_dir):
+            return resumable
+        pending = {cluster.cluster_id
+                   for cluster in self.inbox.pending_clusters(svc.priority)}
+        for name in sorted(os.listdir(checkpoint_dir)):
+            path = os.path.join(checkpoint_dir, name)
+            if name.endswith(".ckpt"):
+                cluster_id = name[:-len(".ckpt")]
+                if cluster_id in pending:
+                    resumable.append(cluster_id)
+                    self._registry.counter("service.supervisor.resumable",
+                                           timing=True).inc()
+                    continue
+            try:
+                os.remove(path)  # stale snapshot, flag, heartbeat or result
+            except OSError:
+                pass
+        return resumable
 
     def _engine_for(self, cluster: TraceCluster) -> ReplayEngine:
         representative = cluster.members[0]
@@ -580,6 +705,9 @@ class ReproService:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._search_journal is not None:
+            self._search_journal.close()
+            self._search_journal = None
 
     def __enter__(self) -> "ReproService":
         return self

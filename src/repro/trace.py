@@ -472,6 +472,74 @@ def _decode_environment(body: bytes) -> EnvironmentSpec:
 _SECTION_ORDER = (b"META", b"PLAN", b"BITV", b"SYSC", b"CRSH", b"ENVS")
 
 
+def encode_envelope(magic: bytes, version: int,
+                    sections: Dict[bytes, bytes],
+                    order: Sequence[bytes]) -> bytes:
+    """Frame *sections* in the shared section-file envelope.
+
+    The grammar every on-disk artifact of this project uses — trace files
+    (``REPROTRC``) and search checkpoints (``REPROCKP``) alike::
+
+        magic | u32 version | u64 payload length | u32 crc32(payload)
+        payload := sections, each: 4-byte tag | u64 body length | body
+    """
+
+    payload_writer = _Writer()
+    for tag in order:
+        if len(tag) != 4:
+            raise ValueError(f"section tag must be 4 bytes, got {tag!r}")
+        payload_writer.raw(tag)
+        payload_writer.blob(sections[tag])
+    payload = payload_writer.getvalue()
+    header = _Writer()
+    header.raw(magic)
+    header.u32(version)
+    header.u64(len(payload))
+    header.u32(zlib.crc32(payload) & 0xFFFFFFFF)
+    return header.getvalue() + payload
+
+
+def decode_envelope(data: bytes, magic: bytes, version: int,
+                    what: str = "trace",
+                    require: Sequence[bytes] = ()) -> Dict[bytes, bytes]:
+    """Parse and verify a section-file envelope; returns ``{tag: body}``.
+
+    Raises :class:`TraceFormatError` on bad magic, unknown version,
+    truncation, checksum mismatch, trailing bytes, or any section from
+    *require* missing — the single bounds-checked entry point both the
+    trace reader and the checkpoint reader funnel through.
+    """
+
+    reader = _Reader(data, f"{what} header")
+    found = reader._take(len(magic))
+    if found != magic:
+        raise TraceFormatError(
+            f"not a {what} file: bad magic {found!r} (expected {magic!r})")
+    got_version = reader.u32()
+    if got_version != version:
+        raise TraceFormatError(
+            f"unsupported {what} version {got_version} (this build reads "
+            f"version {version})")
+    payload_len = reader.u64()
+    crc_expected = reader.u32()
+    payload = reader._take(payload_len)
+    reader.expect_end(f"{what} file")
+    crc_actual = zlib.crc32(payload) & 0xFFFFFFFF
+    if crc_actual != crc_expected:
+        raise TraceFormatError(
+            f"{what} payload checksum mismatch: file says {crc_expected:#010x}, "
+            f"payload hashes to {crc_actual:#010x} (corrupted file?)")
+    sections: Dict[bytes, bytes] = {}
+    body_reader = _Reader(payload, f"{what} payload")
+    while not body_reader.exhausted():
+        tag = body_reader._take(4)
+        sections[tag] = body_reader.blob()
+    missing = [tag.decode() for tag in require if tag not in sections]
+    if missing:
+        raise TraceFormatError(f"{what} is missing sections: {missing}")
+    return sections
+
+
 def dump_trace_bytes(trace: Trace) -> bytes:
     """Serialize *trace* into the version-1 binary form."""
 
@@ -483,17 +551,7 @@ def dump_trace_bytes(trace: Trace) -> bytes:
         b"CRSH": _encode_crash(trace.crash_site),
         b"ENVS": _encode_environment(trace.environment_spec),
     }
-    payload_writer = _Writer()
-    for tag in _SECTION_ORDER:
-        payload_writer.raw(tag)
-        payload_writer.blob(sections[tag])
-    payload = payload_writer.getvalue()
-    header = _Writer()
-    header.raw(TRACE_MAGIC)
-    header.u32(TRACE_VERSION)
-    header.u64(len(payload))
-    header.u32(zlib.crc32(payload) & 0xFFFFFFFF)
-    return header.getvalue() + payload
+    return encode_envelope(TRACE_MAGIC, TRACE_VERSION, sections, _SECTION_ORDER)
 
 
 def load_trace_bytes(data: bytes,
@@ -505,34 +563,8 @@ def load_trace_bytes(data: bytes,
     recorded plan.
     """
 
-    reader = _Reader(data, "trace header")
-    magic = reader._take(len(TRACE_MAGIC))
-    if magic != TRACE_MAGIC:
-        raise TraceFormatError(
-            f"not a trace file: bad magic {magic!r} (expected {TRACE_MAGIC!r})")
-    version = reader.u32()
-    if version != TRACE_VERSION:
-        raise TraceFormatError(
-            f"unsupported trace version {version} (this build reads "
-            f"version {TRACE_VERSION})")
-    payload_len = reader.u64()
-    crc_expected = reader.u32()
-    payload = reader._take(payload_len)
-    reader.expect_end("trace file")
-    crc_actual = zlib.crc32(payload) & 0xFFFFFFFF
-    if crc_actual != crc_expected:
-        raise TraceFormatError(
-            f"trace payload checksum mismatch: file says {crc_expected:#010x}, "
-            f"payload hashes to {crc_actual:#010x} (corrupted file?)")
-
-    sections: Dict[bytes, bytes] = {}
-    body_reader = _Reader(payload, "trace payload")
-    while not body_reader.exhausted():
-        tag = body_reader._take(4)
-        sections[tag] = body_reader.blob()
-    missing = [tag.decode() for tag in _SECTION_ORDER if tag not in sections]
-    if missing:
-        raise TraceFormatError(f"trace is missing sections: {missing}")
+    sections = decode_envelope(data, TRACE_MAGIC, TRACE_VERSION,
+                               what="trace", require=_SECTION_ORDER)
 
     meta_reader = _Reader(sections[b"META"], "META section")
     program_name = meta_reader.string()

@@ -53,12 +53,13 @@ def mkdir_bytes() -> bytes:
     return record_trace_bytes("mkdir-bug")
 
 
-def launch_server(root: str, port_file: str,
-                  crash_points=()) -> subprocess.Popen:
+def launch_server(root: str, port_file: str, crash_points=(),
+                  extra_args=()) -> subprocess.Popen:
     argv = [sys.executable, "-m", "repro", "serve", "--root", root,
             "--port-file", port_file]
     if crash_points:
         argv += ["--faults", json.dumps({"crash_points": list(crash_points)})]
+    argv += list(extra_args)
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
@@ -184,6 +185,78 @@ def test_sigkill_after_search_never_searches_again(tmp_path, mkdir_bytes):
         assert body["report"]["reproduced"]
         again = retry_client.process()
         assert again["stats"]["searches_run"] == 0
+        assert again["reports"] == {}
+    finally:
+        revived.shutdown()
+
+
+def test_sigkill_mid_search_resumes_byte_identical(tmp_path, mkdir_bytes):
+    # The search half of crash recovery: the server SIGKILLs itself the
+    # moment the supervisor first observes a search checkpoint on disk —
+    # the deterministic stand-in for kill -9 landing mid-search.  A
+    # restarted server must resume that search from the surviving snapshot
+    # and fan out a report byte-identical to the undisturbed single-shot
+    # run: exactly-once for searches, not just for ingests.
+    import threading
+
+    from repro.service import ReproService
+
+    base_config = net_config()
+    base_config.service.supervised = False
+    with ReproService(str(tmp_path / "inline"), config=base_config) as svc:
+        svc.ingest_bytes(mkdir_bytes)
+        (baseline,) = svc.process().values()
+    base = baseline.to_json()
+
+    root = str(tmp_path / "svc")
+    port_file = str(tmp_path / "port")
+    proc = launch_server(root, port_file,
+                         crash_points=["supervisor.after_checkpoint"],
+                         extra_args=["--checkpoint-every", "1"])
+    receipt = None
+    try:
+        port = wait_for_port(port_file, proc)
+        client = UploadClient("127.0.0.1", port, client_id="searcher",
+                              timeout=10.0)
+        receipt = client.upload(mkdir_bytes)
+
+        # process() dies with the server; run it from a thread and only
+        # require that the server went down by SIGKILL with a checkpoint
+        # left on disk.
+        def doomed_process():
+            try:
+                client.process()
+            except Exception:
+                pass
+
+        threading.Thread(target=doomed_process, daemon=True).start()
+        assert wait_for_death(proc, timeout=60) == -signal.SIGKILL
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+    checkpoints = os.listdir(os.path.join(root, "checkpoints"))
+    assert any(name.endswith(".ckpt") for name in checkpoints), checkpoints
+
+    revived = UploadServer(
+        root, config=net_config(checkpoint_every_runs=1)).start()
+    try:
+        retry_client = UploadClient("127.0.0.1", revived.port,
+                                    client_id="searcher")
+        processed = retry_client.process()
+        assert processed["stats"]["searches_run"] == 1
+        body = retry_client.report(receipt.trace_id)
+        assert body["status"] == "done"
+        report = body["report"]
+        for field in ("found_input", "runs", "run_records",
+                      "pending_stats", "crash_site", "reproduced"):
+            assert report[field] == base[field], field
+        # Terminal search: its snapshot is gone, and processing again
+        # runs no second search.
+        leftover = os.listdir(os.path.join(root, "checkpoints"))
+        assert not any(name.endswith(".ckpt") for name in leftover)
+        again = retry_client.process()
+        assert again["stats"]["searches_run"] == 1
         assert again["reports"] == {}
     finally:
         revived.shutdown()
