@@ -3,10 +3,15 @@
 Raw instructions/sec (steps are charged in identical tree-walker units on
 every substrate, so the comparison is substrate-only) on fibonacci, the §5.1
 counting loop, and the uServer request loop — with no instrumentation and
-under full branch logging.  Three substrates per cell: the interpreter, the
-named-cell VM (``vm-base``: register allocation disabled, i.e. the PR 3 VM)
-and the register-allocated VM, which gates the slot-frame refactor at
->= 1.3x over ``vm-base`` on every workload.
+under full branch logging.  Five substrates per cell: the interpreter, the
+named-cell VM (``vm-base``: register allocation disabled, i.e. the PR 3 VM),
+the slot VM without the compare-and-branch fusion (``vm-nocmp``), the slot
+VM with the adaptive-specialization tiers disabled (``vm-nospec``: the PR 5
+VM) and the full VM.  Gates: the slot-frame refactor at >= 1.3x over
+``vm-base`` and the specialization tiers (unboxed int slots + quickening +
+synthesized superinstructions) at >= 1.2x over ``vm-nospec`` on every
+workload.  The measured specialize block (on/off rows per workload) is
+merged into ``BENCH_replay.json`` under the ``specialize`` key.
 
 Set ``BENCH_SMOKE=1`` for the shrunken CI smoke sizes.
 """
@@ -35,13 +40,15 @@ def test_vm_beats_interpreter(benchmark):
             vm = indexed[(workload, configuration, "vm")]
             vm_base = indexed[(workload, configuration, "vm-base")]
             vm_nocmp = indexed[(workload, configuration, "vm-nocmp")]
+            vm_nospec = indexed[(workload, configuration, "vm-nospec")]
             # Identical work in tree-walker step units (deterministic, so
             # asserted in smoke mode too)...
             assert (vm["steps"] == interp["steps"] == vm_base["steps"]
-                    == vm_nocmp["steps"])
+                    == vm_nocmp["steps"] == vm_nospec["steps"])
             assert (vm["branch_executions"] == interp["branch_executions"]
                     == vm_base["branch_executions"]
-                    == vm_nocmp["branch_executions"])
+                    == vm_nocmp["branch_executions"]
+                    == vm_nospec["branch_executions"])
             if SMOKE:
                 # Single-repeat shrunken-size timings are too noisy for
                 # wall-clock gates on shared runners; the smoke job only
@@ -64,7 +71,27 @@ def test_vm_beats_interpreter(benchmark):
             assert vm["speedup_vs_vm_nocmp"] >= 0.9, (
                 f"compare-and-branch fusion slowed {workload}/{configuration} "
                 f"({vm['speedup_vs_vm_nocmp']}x vs the unfused pair)")
+            # The adaptive-specialization gate: unboxed int slots, runtime
+            # quickening and the synthesized superinstructions together must
+            # beat the PR 5 VM by >= 1.2x on every workload (measured
+            # 1.6-1.8x on fibonacci, 2.0-2.2x on microbench, 1.4x on
+            # userver; the gate leaves room for shared-runner noise).
+            assert vm["speedup_vs_vm_nospec"] >= 1.2, (
+                f"specialization only {vm['speedup_vs_vm_nospec']}x over "
+                f"the PR 5 VM on {workload}/{configuration}")
     # The dense counting loop is where dispatch dominates: expect a solid
     # margin there, not a photo finish.
     if not SMOKE:
         assert indexed[("microbench", "none", "vm")]["speedup_vs_interp"] >= 1.3
+    # Record the specialize on/off comparison (every workload/configuration
+    # cell, plus the min/max speedups) in the PR-over-PR artifact.  Written
+    # in smoke mode too so the CI bench-smoke job can assert the key exists
+    # alongside a specialize-off row.
+    summary = backend_exp.specialize_summary(rows)
+    artifact = backend_exp.merge_specialize_artifact(summary)
+    print(f"merged specialize block into {artifact}")
+    assert summary["workloads"], "no specialize rows recorded"
+    for cell, entry in summary["workloads"].items():
+        assert "specialize-on" in entry and "specialize-off" in entry, cell
+        assert (entry["specialize-on"]["steps"]
+                == entry["specialize-off"]["steps"]), cell

@@ -62,6 +62,17 @@ class PipelineConfig:
     # benchmarks.  (Pre-deployment analysis runs keep the default, like the
     # other VM code-generation knobs.)
     fuse_compare_branch: bool = True
+    # Let the VM run the adaptive int-specialization tier: unboxed BINOP_II*
+    # forms for slots the resolver's type lattice proves integer-only, plus
+    # runtime quickening of the remaining candidate sites.  Every unboxed
+    # site deoptimizes to its generic origin on a type-guard violation, so
+    # record/replay observations are identical either way.
+    specialize_ints: bool = True
+    # Let the VM run the profile-synthesized superinstructions
+    # (repro.vm.synth): adjacent-pair fusions ranked from recorded
+    # ``vm.opcode.*`` dispatch profiles.  Observation-preserving like the
+    # other code-generation knobs.
+    synth_superinstructions: bool = True
     # Guest call-stack depth limit applied to record and replay runs.
     max_call_depth: int = 256
     # Record metrics and spans into repro.telemetry registries during record

@@ -156,7 +156,10 @@ class Pipeline:
                                    backend=self.config.backend,
                                    specialize_plans=self.config.specialize_plans,
                                    register_allocation=self.config.register_allocation,
-                                   fuse_compare_branch=self.config.fuse_compare_branch),
+                                   fuse_compare_branch=self.config.fuse_compare_branch,
+                                   specialize_ints=self.config.specialize_ints,
+                                   synth_superinstructions=(
+                                       self.config.synth_superinstructions)),
         )
         return executor.run(environment.argv)
 
@@ -176,6 +179,9 @@ class Pipeline:
                                    specialize_plans=self.config.specialize_plans,
                                    register_allocation=self.config.register_allocation,
                                    fuse_compare_branch=self.config.fuse_compare_branch,
+                                   specialize_ints=self.config.specialize_ints,
+                                   synth_superinstructions=(
+                                       self.config.synth_superinstructions),
                                    profile_opcodes=(self.config.telemetry_enabled
                                                     and self.config.profile_opcodes)),
         )
@@ -237,6 +243,8 @@ class Pipeline:
             specialize_plans=self.config.specialize_plans,
             register_allocation=self.config.register_allocation,
             fuse_compare_branch=self.config.fuse_compare_branch,
+            specialize_ints=self.config.specialize_ints,
+            synth_superinstructions=self.config.synth_superinstructions,
             max_call_depth=self.config.max_call_depth,
             warm_start=self.config.replay_warm_start,
             telemetry=self.config.telemetry_enabled,
@@ -293,6 +301,8 @@ class Pipeline:
             specialize_plans=self.config.specialize_plans,
             register_allocation=self.config.register_allocation,
             fuse_compare_branch=self.config.fuse_compare_branch,
+            specialize_ints=self.config.specialize_ints,
+            synth_superinstructions=self.config.synth_superinstructions,
             max_call_depth=self.config.max_call_depth,
             warm_start=self.config.replay_warm_start,
             telemetry=self.config.telemetry_enabled,

@@ -15,6 +15,8 @@ Measured per workload under two configurations:
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from typing import Dict, List
 
@@ -26,21 +28,26 @@ from repro.interp.inputs import ExecutionMode, InputBinder
 from repro.interp.interpreter import ExecutionConfig
 from repro.interp.tracer import NullHooks
 from repro.lang.program import Program
+from repro.vm import synth
 from repro.vm.compiler import compile_program
 from repro.workloads import fibonacci, microbench, userver
 
 
 #: The measured execution substrates ``(name, backend, register_allocation,
-#: fuse_compare_branch)``: both Backend implementations, the bytecode VM with
-#: register allocation disabled (the pre-slot "PR 3" VM) which anchors the
-#: slot-frame speedup gate in ``bench_backends.py``, and the slot VM with the
-#: compare-and-branch superinstruction disabled (``vm-nocmp``), which anchors
-#: the recorded ``BINOP_FF;BRANCH_*`` fusion delta.
+#: fuse_compare_branch, specialize)``: both Backend implementations, the
+#: bytecode VM with register allocation disabled (the pre-slot "PR 3" VM)
+#: which anchors the slot-frame speedup gate in ``bench_backends.py``, the
+#: slot VM with the compare-and-branch superinstruction disabled
+#: (``vm-nocmp``), which anchors the recorded ``BINOP_FF;BRANCH_*`` fusion
+#: delta, and the slot VM with adaptive specialization disabled
+#: (``vm-nospec``: no unboxed int slots, no quickening, no synthesized
+#: superinstructions — the PR 5 VM), which anchors the ``specialize`` gate.
 MEASURED = (
-    ("interp", "interp", True, True),
-    ("vm-base", "vm", False, True),  # named-cell frames (no register allocation)
-    ("vm-nocmp", "vm", True, False),  # slot frames, unfused compare+branch
-    ("vm", "vm", True, True),        # slot frames + compare-and-branch fusion
+    ("interp", "interp", True, True, True),
+    ("vm-base", "vm", False, True, False),  # named-cell frames (no regalloc)
+    ("vm-nocmp", "vm", True, False, True),  # slot frames, unfused cmp+branch
+    ("vm-nospec", "vm", True, True, False),  # slot frames, generic boxed ops
+    ("vm", "vm", True, True, True),  # slot frames + all specialization tiers
 )
 
 
@@ -67,7 +74,7 @@ def bench_workloads(smoke: bool = False) -> List[tuple]:
 
 def _timed_run(program: Program, environment: Environment, backend: str,
                register_allocation: bool, fuse_compare_branch: bool,
-               logged: bool) -> Dict[str, object]:
+               specialize: bool, logged: bool) -> Dict[str, object]:
     if logged:
         plan = build_plan(InstrumentationMethod.ALL_BRANCHES,
                           program.branch_locations, log_syscalls=True)
@@ -81,7 +88,9 @@ def _timed_run(program: Program, environment: Environment, backend: str,
         binder=InputBinder(mode=ExecutionMode.RECORD),
         config=ExecutionConfig(mode=ExecutionMode.RECORD, backend=backend,
                                register_allocation=register_allocation,
-                               fuse_compare_branch=fuse_compare_branch),
+                               fuse_compare_branch=fuse_compare_branch,
+                               specialize_ints=specialize,
+                               synth_superinstructions=specialize),
     )
     start = time.perf_counter()
     result = executor.run(environment.argv)
@@ -99,14 +108,19 @@ def backend_rows(repeats: int = 3, smoke: bool = False) -> List[Dict[str, object
         # Pay all compilations once, up front.
         compile_program(program)
         compile_program(program, resolve=False)
-        compile_program(program, cmp_branch=False)
+        compile_program(program, cmp_branch=False,
+                        specialize_ints=True,
+                        synth_fusions=synth.DEFAULT_FUSIONS)
+        compile_program(program, specialize_ints=True,
+                        synth_fusions=synth.DEFAULT_FUSIONS)
         for configuration, logged in (("none", False), ("all branches", True)):
             measured = {}
-            for name, backend, regalloc, cmp_fuse in MEASURED:
+            for name, backend, regalloc, cmp_fuse, specialize in MEASURED:
                 best = None
                 for _ in range(repeats):
                     sample = _timed_run(program, environment, backend,
-                                        regalloc, cmp_fuse, logged)
+                                        regalloc, cmp_fuse, specialize,
+                                        logged)
                     if best is None or sample["wall_seconds"] < best["wall_seconds"]:
                         best = sample
                 measured[name] = best
@@ -116,7 +130,9 @@ def backend_rows(repeats: int = 3, smoke: bool = False) -> List[Dict[str, object
                            / measured["vm-base"]["wall_seconds"])
             vm_nocmp_ips = (measured["vm-nocmp"]["steps"]
                             / measured["vm-nocmp"]["wall_seconds"])
-            for name, backend, regalloc, cmp_fuse in MEASURED:
+            vm_nospec_ips = (measured["vm-nospec"]["steps"]
+                             / measured["vm-nospec"]["wall_seconds"])
+            for name, backend, regalloc, cmp_fuse, specialize in MEASURED:
                 best = measured[name]
                 ips = best["steps"] / best["wall_seconds"]
                 rows.append({
@@ -132,5 +148,64 @@ def backend_rows(repeats: int = 3, smoke: bool = False) -> List[Dict[str, object
                     # The compare-and-branch fusion delta (ips over the same
                     # VM with BINOP_FF;BRANCH_* emitted unfused).
                     "speedup_vs_vm_nocmp": round(ips / vm_nocmp_ips, 3),
+                    # The adaptive-specialization delta (ips over the same
+                    # VM with unboxed ints, quickening and synthesized
+                    # superinstructions all disabled — the PR 5 VM).
+                    "speedup_vs_vm_nospec": round(ips / vm_nospec_ips, 3),
                 })
     return rows
+
+
+def specialize_summary(rows: List[Dict[str, object]]) -> Dict[str, object]:
+    """The ``specialize`` artifact block for ``BENCH_replay.json``.
+
+    Per (workload, configuration): the specialized VM's ips, its speedup
+    over the specialization-free PR 5 VM (``vm-nospec``), and the nospec
+    row itself, which doubles as the proof the off path still runs (same
+    steps, same branch counts, specialization knobs ignored).
+    """
+
+    summary: Dict[str, object] = {"workloads": {}}
+    for row in rows:
+        if row["backend"] not in ("vm", "vm-nospec"):
+            continue
+        key = f"{row['workload']}/{row['configuration']}"
+        entry = summary["workloads"].setdefault(key, {})
+        label = "specialize-on" if row["backend"] == "vm" else "specialize-off"
+        entry[label] = {
+            "instructions_per_sec": row["instructions_per_sec"],
+            "steps": row["steps"],
+            "branch_executions": row["branch_executions"],
+            "speedup_vs_vm_nospec": row["speedup_vs_vm_nospec"],
+        }
+    speedups = [entry["specialize-on"]["speedup_vs_vm_nospec"]
+                for entry in summary["workloads"].values()
+                if "specialize-on" in entry]
+    if speedups:
+        summary["min_speedup_vs_nospec"] = min(speedups)
+        summary["max_speedup_vs_nospec"] = max(speedups)
+    return summary
+
+
+def merge_specialize_artifact(summary: Dict[str, object],
+                              path: str = "BENCH_replay.json") -> str:
+    """Merge the ``specialize`` block into the PR-over-PR tracking artifact.
+
+    ``bench_replay_search`` owns the artifact's top-level layout; this only
+    adds/replaces the ``specialize`` key so the two bench files can run in
+    either order without clobbering each other.
+    """
+
+    payload: Dict[str, object] = {}
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                loaded = json.load(handle)
+        except (ValueError, OSError):
+            loaded = {}
+        if isinstance(loaded, dict):
+            payload = loaded
+    payload["specialize"] = summary
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path

@@ -35,6 +35,7 @@ big diff) still finishes on a laptop.
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -45,6 +46,7 @@ from repro.replay.budget import ReplayBudget
 from repro.replay.engine import ReplayEngine, ReplayOutcome
 from repro.symbolic import solver as solver_mod
 from repro.vm import compiler as vm_compiler
+from repro.vm import synth
 from repro.workloads import diffutil, library_functions_for, userver
 from repro.workloads.coreutils import paste
 
@@ -162,6 +164,12 @@ def search_rows(smoke: bool = False, repeats: int = 2,
         vm_compiler.compile_program(pipeline.program, plan)
         vm_compiler.compile_program(pipeline.program, resolve=False)
         vm_compiler.compile_program(pipeline.program, plan, resolve=False)
+        # The pr4 configurations run the adaptive-specialization tiers.
+        vm_compiler.compile_program(pipeline.program, specialize_ints=True,
+                                    synth_fusions=synth.DEFAULT_FUSIONS)
+        vm_compiler.compile_program(pipeline.program, plan,
+                                    specialize_ints=True,
+                                    synth_fusions=synth.DEFAULT_FUSIONS)
 
         fingerprints = {}
         walls: Dict[str, float] = {}
@@ -296,6 +304,18 @@ def write_artifact(rows: List[Dict[str, object]], path: str = "BENCH_replay.json
         payload["net"] = net
     if checkpoint is not None:
         payload["checkpoint"] = checkpoint
+    # Merge, don't clobber: other bench modules contribute their own keys
+    # (``specialize`` from bench_backends) to the same artifact, and the
+    # bench files run in either order.
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                existing = json.load(handle)
+        except (ValueError, OSError):
+            existing = {}
+        if isinstance(existing, dict):
+            for key, value in existing.items():
+                payload.setdefault(key, value)
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return path

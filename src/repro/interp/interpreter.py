@@ -136,6 +136,18 @@ class ExecutionConfig:
     # shipped loop's source (see repro.vm.machine), so with this off the VM
     # executes literally unmodified code.  Ignored by the interpreter.
     profile_opcodes: bool = False
+    # Let the VM specialize int-typed slots: locals the resolver's type
+    # lattice proves integer-only run on unboxed raw ints via the BINOP_II
+    # opcode family, and generic sites that merely *look* int at runtime
+    # are quickened in place after a short warm-up.  Guard violations
+    # deoptimize the site back to its generic form, so every observable
+    # (steps, events, crash sites) is identical with this on or off.
+    # Requires register_allocation; ignored by the interpreter.
+    specialize_ints: bool = True
+    # Let the VM fuse profile-selected adjacent opcode pairs into
+    # superinstructions (repro.vm.synth).  Observation-equivalent by
+    # construction; disable to emit the unfused stream for comparison.
+    synth_superinstructions: bool = True
 
 
 @dataclass

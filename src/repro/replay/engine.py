@@ -247,6 +247,8 @@ class _EngineSpec:
     specialize_plans: bool
     register_allocation: bool
     fuse_compare_branch: bool
+    specialize_ints: bool
+    synth_superinstructions: bool
     max_call_depth: int
     warm_start: bool
     telemetry: bool = False
@@ -268,6 +270,8 @@ class _EngineSpec:
             specialize_plans=self.specialize_plans,
             register_allocation=self.register_allocation,
             fuse_compare_branch=self.fuse_compare_branch,
+            specialize_ints=self.specialize_ints,
+            synth_superinstructions=self.synth_superinstructions,
             max_call_depth=self.max_call_depth,
             warm_start=self.warm_start,
             telemetry=self.telemetry,
@@ -308,6 +312,8 @@ class ReplayEngine:
                  specialize_plans: bool = True,
                  register_allocation: bool = True,
                  fuse_compare_branch: bool = True,
+                 specialize_ints: bool = True,
+                 synth_superinstructions: bool = True,
                  max_call_depth: int = 256,
                  warm_start: bool = True,
                  telemetry: bool = False,
@@ -328,6 +334,8 @@ class ReplayEngine:
         self.specialize_plans = specialize_plans
         self.register_allocation = register_allocation
         self.fuse_compare_branch = fuse_compare_branch
+        self.specialize_ints = specialize_ints
+        self.synth_superinstructions = synth_superinstructions
         self.max_call_depth = max_call_depth
         self.warm_start = warm_start
         # Telemetry never affects the explored search tree; profiling opcodes
@@ -621,6 +629,8 @@ class ReplayEngine:
             specialize_plans=self.specialize_plans,
             register_allocation=self.register_allocation,
             fuse_compare_branch=self.fuse_compare_branch,
+            specialize_ints=self.specialize_ints,
+            synth_superinstructions=self.synth_superinstructions,
             max_call_depth=self.max_call_depth,
             warm_start=self.warm_start,
             telemetry=self.telemetry,
@@ -986,6 +996,9 @@ class ReplayEngine:
                                  specialize_plans=self.specialize_plans,
                                  register_allocation=self.register_allocation,
                                  fuse_compare_branch=self.fuse_compare_branch,
+                                 specialize_ints=self.specialize_ints,
+                                 synth_superinstructions=(
+                                     self.synth_superinstructions),
                                  profile_opcodes=(self.telemetry
                                                   and self.profile_opcodes))
         executor = create_backend(self.program, kernel=kernel, hooks=hooks,

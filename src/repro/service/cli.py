@@ -121,10 +121,24 @@ def cmd_stats(args) -> int:
     from repro.telemetry import read_jsonl, render_summary
 
     if args.jsonl:
-        print(render_summary(read_jsonl(args.jsonl)))
+        records = read_jsonl(args.jsonl)
+        if args.opcodes is not None:
+            from repro.vm import synth
+
+            print(synth.render_dispatch_table(
+                synth.profile_from_records(records), top=args.opcodes))
+            return 0
+        print(render_summary(records))
         return 0
     service = ReproService(args.root, config=build_config(args))
     snapshot = service.telemetry()
+    if args.opcodes is not None:
+        from repro.vm import synth
+
+        records = [json.loads(line) for line in snapshot.jsonl_lines()]
+        print(synth.render_dispatch_table(
+            synth.profile_from_records(records), top=args.opcodes))
+        return 0
     if args.json:
         print(json.dumps(service.stats().to_json(), sort_keys=True))
         print(json.dumps(snapshot.to_json(), sort_keys=True))
@@ -503,6 +517,11 @@ def main(argv=None) -> int:
                        help="render a telemetry JSON-lines sink file instead")
     stats.add_argument("--json", action="store_true",
                        help="machine-readable output")
+    stats.add_argument("--opcodes", nargs="?", const=12, type=int,
+                       default=None, metavar="N",
+                       help="render the top-N VM dispatch table (vm.opcode.* "
+                            "counters, logged-vs-bare branch split) instead "
+                            "of the full summary (default N=12)")
 
     args = parser.parse_args(argv)
     if args.command == "stats" and not (args.root or args.jsonl):

@@ -56,6 +56,8 @@ class ExecutionSection:
     specialize_plans: bool = True
     register_allocation: bool = True
     fuse_compare_branch: bool = True
+    specialize_ints: bool = True
+    synth_superinstructions: bool = True
 
 
 @dataclass
@@ -225,6 +227,8 @@ class ReproConfig:
                     specialize_plans=legacy.specialize_plans,
                     register_allocation=legacy.register_allocation,
                     fuse_compare_branch=legacy.fuse_compare_branch,
+                    specialize_ints=legacy.specialize_ints,
+                    synth_superinstructions=legacy.synth_superinstructions,
                 ),
                 instrumentation=InstrumentationSection(
                     log_syscalls=legacy.log_syscalls,
@@ -253,6 +257,8 @@ class ReproConfig:
                     specialize_plans=legacy.specialize_plans,
                     register_allocation=legacy.register_allocation,
                     fuse_compare_branch=legacy.fuse_compare_branch,
+                    specialize_ints=legacy.specialize_ints,
+                    synth_superinstructions=legacy.synth_superinstructions,
                 ),
                 telemetry=TelemetrySection(
                     profile_vm=legacy.profile_opcodes,
@@ -280,6 +286,8 @@ class ReproConfig:
             specialize_plans=self.execution.specialize_plans,
             register_allocation=self.execution.register_allocation,
             fuse_compare_branch=self.execution.fuse_compare_branch,
+            specialize_ints=self.execution.specialize_ints,
+            synth_superinstructions=self.execution.synth_superinstructions,
             max_call_depth=self.execution.max_call_depth,
             telemetry_enabled=self.telemetry.enabled,
             profile_opcodes=self.telemetry.profile_vm,
@@ -304,6 +312,8 @@ class ReproConfig:
             specialize_plans=self.execution.specialize_plans,
             register_allocation=self.execution.register_allocation,
             fuse_compare_branch=self.execution.fuse_compare_branch,
+            specialize_ints=self.execution.specialize_ints,
+            synth_superinstructions=self.execution.synth_superinstructions,
             profile_opcodes=self.telemetry.profile_vm,
         )
 

@@ -584,6 +584,8 @@ class ReproService:
             specialize_plans=execution.specialize_plans,
             register_allocation=execution.register_allocation,
             fuse_compare_branch=execution.fuse_compare_branch,
+            specialize_ints=execution.specialize_ints,
+            synth_superinstructions=execution.synth_superinstructions,
             max_call_depth=execution.max_call_depth,
             warm_start=replay.warm_start,
             telemetry=self.config.telemetry.enabled,

@@ -42,6 +42,14 @@ class CodeObject:
     #: scope undo log are provably never touched, so calls share one empty
     #: dict/undo instead of allocating them (see ``_Frame`` in the machine).
     bare_frame: bool = False
+    #: Instruction indexes eligible for runtime quickening: generic binary
+    #: sites whose operand slots are not provably int but never pointers.
+    #: The warm-up triggers (ENTRY_WARM/JUMP_WARM) pass these to the VM's
+    #: quickening pass, which rewrites int-shaped sites to unboxed forms.
+    quicken_sites: Tuple[int, ...] = ()
+    #: Slots the resolver's int-type lattice proved integer-only (disassembly
+    #: and diagnostics; the compiler consumed the proof at emission time).
+    int_slots: frozenset = frozenset()
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -110,6 +118,81 @@ class CodeObject:
             operator, left, right, location, target, slot = arg
             return (f"{operator!r} {self._slot(left)}, {self._slot(right)}; "
                     f"{location.short()} -> {target} [slot {slot}]")
+        if op == opcodes.BINOP_II:
+            operator, left, right, _generic = arg
+            return (f"{operator!r} {self._slot(left)}, {self._slot(right)}"
+                    f"  [unboxed]")
+        if op == opcodes.BINOP_IC:
+            operator, slot, const, _generic = arg
+            return f"{operator!r} {self._slot(slot)}, {const}  [unboxed]"
+        if op == opcodes.BINOP_II_STORE:
+            operator, left, right, target, _generic = arg
+            return (f"{operator!r} {self._slot(left)}, {self._slot(right)}"
+                    f" -> {self._slot(target)}  [unboxed]")
+        if op == opcodes.BINOP_IC_STORE:
+            operator, slot, const, target, _generic = arg
+            return (f"{operator!r} {self._slot(slot)}, {const}"
+                    f" -> {self._slot(target)}  [unboxed]")
+        if op in (opcodes.BINOP_II_BRANCH, opcodes.BINOP_II_BRANCH_BARE):
+            operator, left, right, location, target, _generic = arg
+            return (f"{operator!r} {self._slot(left)}, {self._slot(right)}; "
+                    f"{location.short()} -> {target}  [unboxed]")
+        if op == opcodes.BINOP_II_BRANCH_LOGGED:
+            operator, left, right, location, target, slot, _generic = arg
+            return (f"{operator!r} {self._slot(left)}, {self._slot(right)}; "
+                    f"{location.short()} -> {target} [slot {slot}]  [unboxed]")
+        if op in (opcodes.BINOP_FC_BRANCH, opcodes.BINOP_FC_BRANCH_BARE):
+            operator, slot, const, location, target = arg
+            return (f"{operator!r} {self._slot(slot)}, {const!r}; "
+                    f"{location.short()} -> {target}")
+        if op == opcodes.BINOP_FC_BRANCH_LOGGED:
+            operator, slot, const, location, target, log_slot = arg
+            return (f"{operator!r} {self._slot(slot)}, {const!r}; "
+                    f"{location.short()} -> {target} [slot {log_slot}]")
+        if op in (opcodes.BINOP_IC_BRANCH, opcodes.BINOP_IC_BRANCH_BARE):
+            operator, slot, const, location, target, _generic = arg
+            return (f"{operator!r} {self._slot(slot)}, {const}; "
+                    f"{location.short()} -> {target}  [unboxed]")
+        if op == opcodes.BINOP_IC_BRANCH_LOGGED:
+            operator, slot, const, location, target, log_slot, _generic = arg
+            return (f"{operator!r} {self._slot(slot)}, {const}; "
+                    f"{location.short()} -> {target} [slot {log_slot}]"
+                    f"  [unboxed]")
+        if op in (opcodes.BINOP_SC_BRANCH, opcodes.BINOP_SC_BRANCH_BARE):
+            operator, const, location, target = arg
+            return (f"{operator!r} <stack>, {const!r}; "
+                    f"{location.short()} -> {target}")
+        if op == opcodes.BINOP_SC_BRANCH_LOGGED:
+            operator, const, location, target, log_slot = arg
+            return (f"{operator!r} <stack>, {const!r}; "
+                    f"{location.short()} -> {target} [slot {log_slot}]")
+        if op in (opcodes.BINARY_BRANCH, opcodes.BINARY_BRANCH_BARE):
+            operator, location, target = arg
+            return f"{operator!r}; {location.short()} -> {target}"
+        if op == opcodes.BINARY_BRANCH_LOGGED:
+            operator, location, target, log_slot = arg
+            return (f"{operator!r}; {location.short()} -> {target}"
+                    f" [slot {log_slot}]")
+        if op == opcodes.ENTRY_WARM:
+            cell, _code = arg
+            return f"countdown={cell[0]}"
+        if op == opcodes.JUMP_WARM:
+            target, cell, _code = arg
+            return f"{target} countdown={cell[0]}"
+        if op == opcodes.LOAD2_FAST:
+            left, right = arg
+            return f"{self._slot(left)}, {self._slot(right)}"
+        if op in (opcodes.LOAD_INDEX_FAST, opcodes.STORE_INDEX_FAST):
+            return f"[{self._slot(arg)}]"
+        if op in (opcodes.LOAD_INDEX_FF, opcodes.STORE_INDEX_FF):
+            base, index = arg
+            return f"{self._slot(base)}[{self._slot(index)}]"
+        if op == opcodes.BINOP_FC_CALL:
+            operator, slot, const, callee, argc, _fc_line = arg
+            return (f"{operator!r} {self._slot(slot)}, {const!r}; "
+                    f"{callee.name}/{argc}")
+        if op == opcodes.BINARY_RET:
+            return f"{arg!r}"
         return repr(arg)
 
 

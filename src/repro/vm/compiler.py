@@ -74,6 +74,7 @@ from repro.lang.resolve import (
     resolve_program,
 )
 from repro.vm import opcodes as op
+from repro.vm import synth
 from repro.vm.code import CodeObject, CompiledProgram
 
 _CACHE_ATTR = "_vm_compiled_by_plan"
@@ -81,6 +82,68 @@ _CACHE_ATTR = "_vm_compiled_by_plan"
 #: Operators eligible for compare-and-branch fusion (their concrete result is
 #: the branch decision itself).
 _COMPARISONS = frozenset(("<", ">", "<=", ">=", "==", "!="))
+
+#: Operators the unboxed BINOP_II* forms implement inline.  Division and
+#: modulo stay generic (their zero checks and C-style truncation live in
+#: ``binary_int_op``); everything here is branch-free int arithmetic.
+_II_OPS = frozenset(("+", "-", "*", "<", ">", "<=", ">=", "==", "!="))
+
+#: Warm-up countdowns for the quickening triggers: function entries observe
+#: more calls than loop backedges observe iterations before committing, so
+#: both trigger after the frame's slots have realistic shapes.
+_ENTRY_WARM_COUNT = 8
+_JUMP_WARM_COUNT = 16
+
+#: Generic site opcode -> its unboxed form (static emission and quickening).
+_UNBOXED_OPCODES = {
+    op.BINOP_FC: op.BINOP_IC,
+    op.BINOP_FF: op.BINOP_II,
+    op.BINOP_FC_STORE: op.BINOP_IC_STORE,
+    op.BINOP_FF_STORE: op.BINOP_II_STORE,
+    op.BINOP_FF_BRANCH: op.BINOP_II_BRANCH,
+    op.BINOP_FF_BRANCH_BARE: op.BINOP_II_BRANCH_BARE,
+    op.BINOP_FF_BRANCH_LOGGED: op.BINOP_II_BRANCH_LOGGED,
+    op.BINOP_FC_BRANCH: op.BINOP_IC_BRANCH,
+    op.BINOP_FC_BRANCH_BARE: op.BINOP_IC_BRANCH_BARE,
+    op.BINOP_FC_BRANCH_LOGGED: op.BINOP_IC_BRANCH_LOGGED,
+}
+
+#: The slot-vs-const compare-and-branch flavour of each FF fused opcode.
+#: Only emitted under the specialization tier (see ``_fuse_cmp_branch``).
+_FC_BRANCH_FORMS = {
+    op.BINOP_FF_BRANCH: op.BINOP_FC_BRANCH,
+    op.BINOP_FF_BRANCH_BARE: op.BINOP_FC_BRANCH_BARE,
+    op.BINOP_FF_BRANCH_LOGGED: op.BINOP_FC_BRANCH_LOGGED,
+}
+
+#: The stack-vs-const (``CONST;BINARY;BRANCH_*``) and stack-vs-stack
+#: (``BINARY;BRANCH_*``) flavours; specialization tier only, same mapping key.
+_SC_BRANCH_FORMS = {
+    op.BINOP_FF_BRANCH: op.BINOP_SC_BRANCH,
+    op.BINOP_FF_BRANCH_BARE: op.BINOP_SC_BRANCH_BARE,
+    op.BINOP_FF_BRANCH_LOGGED: op.BINOP_SC_BRANCH_LOGGED,
+}
+_BINARY_BRANCH_FORMS = {
+    op.BINOP_FF_BRANCH: op.BINARY_BRANCH,
+    op.BINOP_FF_BRANCH_BARE: op.BINARY_BRANCH_BARE,
+    op.BINOP_FF_BRANCH_LOGGED: op.BINARY_BRANCH_LOGGED,
+}
+
+
+def unboxed_form(instr: tuple) -> tuple:
+    """The unboxed (BINOP_I*) instruction for a generic candidate site.
+
+    The original instruction rides along as the last arg element: it is the
+    deopt target the VM rewrites back on a type-guard violation, making
+    deoptimization a one-slot list store.  FC consts unbox to the raw int
+    here, so the hot arm never touches the ConcolicValue.
+    """
+
+    opcode, arg, charge, line = instr
+    if opcode in (op.BINOP_FC, op.BINOP_FC_STORE, op.BINOP_FC_BRANCH,
+                  op.BINOP_FC_BRANCH_BARE, op.BINOP_FC_BRANCH_LOGGED):
+        arg = arg[:2] + (arg[2].concrete,) + arg[3:]
+    return (_UNBOXED_OPCODES[opcode], tuple(arg) + (instr,), charge, line)
 
 #: Process-wide compiled-code cache counters (all programs, all plans).
 #: Guarded by a lock because replay workers construct VMs concurrently and
@@ -152,7 +215,9 @@ def _count_event(kind: str) -> None:
 
 def compile_program(program: Program, plan=None,
                     resolve: bool = True,
-                    cmp_branch: bool = True) -> CompiledProgram:
+                    cmp_branch: bool = True,
+                    specialize_ints: bool = False,
+                    synth_fusions=None) -> CompiledProgram:
     """Compile *program* for *plan*, caching per ``(program, key)``.
 
     ``plan=None`` compiles unspecialized branch dispatch; a plan keys the
@@ -171,11 +236,24 @@ def compile_program(program: Program, plan=None,
     ``cmp_branch`` enables the compare-and-branch superinstructions
     (``BINOP_FF_BRANCH*``); disable to emit the unfused pair for comparison
     benchmarks.  Part of the cache key for the same staleness reason.
+
+    ``specialize_ints`` enables the adaptive int specialization tier: the
+    resolver's int-slot lattice drives static ``BINOP_II*`` emission and
+    warm-up triggers mark the remaining candidate sites for runtime
+    quickening.  Requires ``resolve``; keyed into the cache because the
+    quickening pass mutates specialized streams in place and such code must
+    never be handed to a run compiled with the knob off.
+
+    ``synth_fusions`` is an ordered tuple of :data:`repro.vm.synth.
+    PAIR_CATALOG` names to materialize (``None`` disables the pass); part of
+    the cache key since each selection yields a distinct stream.
     """
 
+    specialize_ints = bool(specialize_ints and resolve)
+    fusion_key = tuple(synth_fusions) if synth_fusions else ()
     key = (RESOLVER_VERSION if resolve else 0,
            None if plan is None else plan.fingerprint(),
-           cmp_branch)
+           cmp_branch, specialize_ints, fusion_key)
     cache = getattr(program, _CACHE_ATTR, None)
     if cache is None:
         cache = {}
@@ -186,7 +264,9 @@ def compile_program(program: Program, plan=None,
         return cached
     _count_event("misses")
     compiled = Compiler(program, plan=plan, resolve=resolve,
-                        cmp_branch=cmp_branch).compile()
+                        cmp_branch=cmp_branch,
+                        specialize_ints=specialize_ints,
+                        synth_fusions=fusion_key).compile()
     cache[key] = compiled
     return compiled
 
@@ -204,11 +284,14 @@ class Compiler:
     """Compiles every function of one program (optionally plan-specialized)."""
 
     def __init__(self, program: Program, plan=None, resolve: bool = True,
-                 cmp_branch: bool = True) -> None:
+                 cmp_branch: bool = True, specialize_ints: bool = False,
+                 synth_fusions=()) -> None:
         self.program = program
         self.plan = plan
         self.cmp_branch = cmp_branch
         self.resolution = resolve_program(program) if resolve else None
+        self.specialize_ints = specialize_ints and self.resolution is not None
+        self.synth_fusions = tuple(synth_fusions) if synth_fusions else ()
         # Slot table for BRANCH_LOGGED: slot index -> BranchLocation.  The VM
         # keeps one inline execution counter per slot.
         self.logged_locations: List[object] = []
@@ -312,13 +395,31 @@ class _FunctionEmitter:
             self.emit(op.NOP)
         self.emit(op.CONST, ZERO)
         self.emit(op.RET)
+        # Synthesized superinstructions first (they delete instructions and
+        # remap labels), then the warm-up triggers (they insert and shift
+        # labels) — both while branch args still hold patchable _Labels.
+        if self.compiler.synth_fusions:
+            self._apply_synth(self.compiler.synth_fusions)
+            # Second round for catalog pairs whose first member is itself a
+            # fusion product (LOAD2_FAST;LOAD_INDEX -> LOAD_INDEX_FF); a
+            # no-op when nothing matches.
+            self._apply_synth(self.compiler.synth_fusions)
+        specialize = self.compiler.specialize_ints and self.resolution is not None
+        if specialize and self._needs_quickening():
+            self._insert_warm_triggers()
         self._patch_labels()
+        if specialize:
+            self._specialize_int_sites()
 
     def _patch_labels(self) -> None:
         jump_ops = (op.JUMP, op.AND_JUMP, op.OR_JUMP, op.TERN_FALSE)
         for pc, (opcode, arg, charge, line) in enumerate(self.instructions):
             if opcode in jump_ops and isinstance(arg, _Label):
                 self.instructions[pc] = (opcode, arg.pc, charge, line)
+            elif opcode == op.JUMP_WARM:
+                label, cell, code = arg
+                self.instructions[pc] = (opcode, (label.pc, cell, code),
+                                         charge, line)
             elif opcode in (op.BRANCH, op.BRANCH_BARE):
                 location, label = arg
                 self.instructions[pc] = (opcode, (location, label.pc), charge, line)
@@ -326,16 +427,169 @@ class _FunctionEmitter:
                 location, label, slot = arg
                 self.instructions[pc] = (opcode, (location, label.pc, slot),
                                          charge, line)
-            elif opcode in (op.BINOP_FF_BRANCH, op.BINOP_FF_BRANCH_BARE):
+            elif opcode in (op.BINOP_FF_BRANCH, op.BINOP_FF_BRANCH_BARE,
+                            op.BINOP_FC_BRANCH, op.BINOP_FC_BRANCH_BARE):
                 operator, left, right, location, label = arg
                 self.instructions[pc] = (
                     opcode, (operator, left, right, location, label.pc),
                     charge, line)
-            elif opcode == op.BINOP_FF_BRANCH_LOGGED:
+            elif opcode in (op.BINOP_FF_BRANCH_LOGGED,
+                            op.BINOP_FC_BRANCH_LOGGED):
                 operator, left, right, location, label, slot = arg
                 self.instructions[pc] = (
                     opcode, (operator, left, right, location, label.pc, slot),
                     charge, line)
+            elif opcode in (op.BINOP_SC_BRANCH, op.BINOP_SC_BRANCH_BARE):
+                operator, const, location, label = arg
+                self.instructions[pc] = (
+                    opcode, (operator, const, location, label.pc),
+                    charge, line)
+            elif opcode == op.BINOP_SC_BRANCH_LOGGED:
+                operator, const, location, label, slot = arg
+                self.instructions[pc] = (
+                    opcode, (operator, const, location, label.pc, slot),
+                    charge, line)
+            elif opcode in (op.BINARY_BRANCH, op.BINARY_BRANCH_BARE):
+                operator, location, label = arg
+                self.instructions[pc] = (
+                    opcode, (operator, location, label.pc), charge, line)
+            elif opcode == op.BINARY_BRANCH_LOGGED:
+                operator, location, label, slot = arg
+                self.instructions[pc] = (
+                    opcode, (operator, location, label.pc, slot), charge, line)
+
+    # -- adaptive specialization passes ------------------------------------------
+
+    def _apply_synth(self, selections) -> None:
+        """Materialize the selected superinstruction pairs (pre-label-patch).
+
+        One greedy left-to-right pass; a pair is declined when a bound label
+        points at its second instruction (a jump could land mid-pattern).
+        Deleting instructions shifts every later pc, so bound labels and
+        positions are remapped through an old->new table.
+        """
+
+        instructions = self.instructions
+        bound = self._bound_positions
+        fused_stream: List = []
+        pc_map: Dict[int, int] = {}
+        index = 0
+        count = len(instructions)
+        while index < count:
+            pc_map[index] = len(fused_stream)
+            if index + 1 < count and (index + 1) not in bound:
+                fused = synth.try_fuse(selections, instructions[index],
+                                       instructions[index + 1])
+                if fused is not None:
+                    fused_stream.append(fused)
+                    index += 2
+                    continue
+            fused_stream.append(instructions[index])
+            index += 1
+        pc_map[count] = len(fused_stream)
+        for label in self._labels:
+            if label.pc is not None:
+                label.pc = pc_map[label.pc]
+        self._bound_positions = {pc_map[position] for position in bound}
+        instructions[:] = fused_stream
+
+    def _site_slots(self, opcode: int, arg) -> Optional[tuple]:
+        """``(operand_slots, target_slots)`` of an int-specializable site.
+
+        Slot positions are identical pre- and post-label-patch (only branch
+        targets change), so both the warm-trigger scan and the rewrite pass
+        share this classification.  Returns ``None`` for non-candidates.
+        """
+
+        if opcode in (op.BINOP_FC, op.BINOP_FC_STORE):
+            if arg[0] not in _II_OPS or arg[2].symbolic is not None:
+                return None
+            targets = (arg[3],) if opcode == op.BINOP_FC_STORE else ()
+            return ((arg[1],), targets)
+        if opcode in (op.BINOP_FF, op.BINOP_FF_STORE):
+            if arg[0] not in _II_OPS:
+                return None
+            targets = (arg[3],) if opcode == op.BINOP_FF_STORE else ()
+            return ((arg[1], arg[2]), targets)
+        if opcode in (op.BINOP_FF_BRANCH, op.BINOP_FF_BRANCH_BARE,
+                      op.BINOP_FF_BRANCH_LOGGED):
+            return ((arg[1], arg[2]), ())
+        if opcode in (op.BINOP_FC_BRANCH, op.BINOP_FC_BRANCH_BARE,
+                      op.BINOP_FC_BRANCH_LOGGED):
+            if arg[2].symbolic is not None:
+                return None
+            return ((arg[1],), ())
+        return None
+
+    def _needs_quickening(self) -> bool:
+        """Whether any site must wait for runtime shape observation."""
+
+        int_slots = self.resolution.int_slots
+        never = self.resolution.pointer_slots
+        for opcode, arg, _charge, _line in self.instructions:
+            slots = self._site_slots(opcode, arg)
+            if slots is None:
+                continue
+            operands, targets = slots
+            if any(slot in never for slot in operands + targets):
+                continue
+            if not all(slot in int_slots for slot in operands):
+                return True
+        return False
+
+    def _insert_warm_triggers(self) -> None:
+        """Insert ENTRY_WARM at pc 0 and turn loop backedges into JUMP_WARM.
+
+        Runs pre-label-patch: inserting at the front shifts every bound
+        label and position by one, and backedge detection compares a JUMP's
+        (already bound) label pc against its own index.  Charges are
+        untouched — ENTRY_WARM carries zero and JUMP_WARM inherits its
+        JUMP's — so step accounting is unchanged.
+        """
+
+        instructions = self.instructions
+        instructions.insert(
+            0, (op.ENTRY_WARM, ([_ENTRY_WARM_COUNT], self.code), 0, 0))
+        for label in self._labels:
+            if label.pc is not None:
+                label.pc += 1
+        self._bound_positions = {position + 1
+                                 for position in self._bound_positions}
+        for index, (opcode, arg, charge, line) in enumerate(instructions):
+            if (opcode == op.JUMP and isinstance(arg, _Label)
+                    and arg.pc is not None and arg.pc <= index):
+                instructions[index] = (
+                    op.JUMP_WARM, (arg, [_JUMP_WARM_COUNT], self.code),
+                    charge, line)
+
+    def _specialize_int_sites(self) -> None:
+        """Rewrite provably-int sites to unboxed forms; mark the rest.
+
+        Runs post-label-patch so the generic instruction embedded in each
+        unboxed arg (the deopt target) is final.  Sites whose operand slots
+        are not provably int but never pointers become quickening candidates
+        on ``code.quicken_sites``.
+        """
+
+        resolution = self.resolution
+        int_slots = resolution.int_slots
+        never = resolution.pointer_slots
+        instructions = self.instructions
+        quicken: List[int] = []
+        for index, instr in enumerate(instructions):
+            opcode, arg, charge, line = instr
+            slots = self._site_slots(opcode, arg)
+            if slots is None:
+                continue
+            operands, targets = slots
+            if any(slot in never for slot in operands + targets):
+                continue
+            if all(slot in int_slots for slot in operands):
+                instructions[index] = unboxed_form(instr)
+            else:
+                quicken.append(index)
+        self.code.quicken_sites = tuple(quicken)
+        self.code.int_slots = int_slots
 
     def emit_branch(self, location, else_label: _Label) -> None:
         """Emit the branch flavour the compilation mode calls for."""
@@ -376,7 +630,41 @@ class _FunctionEmitter:
         if not instructions or len(instructions) in self._bound_positions:
             return False
         opcode, arg, charge, line = instructions[-1]
-        if opcode != op.BINOP_FF or arg[0] not in _COMPARISONS:
+        if opcode == op.BINOP_FC:
+            # The slot-vs-const flavour belongs to the specialization tier:
+            # it exists to be unboxed into BINOP_IC_BRANCH* (and to serve as
+            # that form's deopt target), so it is only emitted when the tier
+            # can consume it — the PR 5 instruction set stays byte-identical
+            # with specialization off.
+            if not self.compiler.specialize_ints:
+                return False
+            fused_opcode = _FC_BRANCH_FORMS[fused_opcode]
+        elif opcode == op.BINARY:
+            # Stack-condition comparisons (specialization tier only): the
+            # result's truth value is the branch decision.  A CONST feeding
+            # the right operand — the ``ch == 'X'`` parser shape — is
+            # swallowed too, unless a bound label points at the BINARY
+            # (a jump could land there expecting the const on the stack).
+            if not self.compiler.specialize_ints or arg not in _COMPARISONS:
+                return False
+            if (len(instructions) >= 2
+                    and instructions[-2][0] == op.CONST
+                    and len(instructions) - 1 not in self._bound_positions):
+                instructions.pop()
+                _const_op, const, const_charge, _const_line = instructions[-1]
+                charge += const_charge + self.pending
+                self.pending = 0
+                instructions[-1] = (_SC_BRANCH_FORMS[fused_opcode],
+                                    (arg, const) + branch_arg, charge, line)
+                return True
+            charge += self.pending
+            self.pending = 0
+            instructions[-1] = (_BINARY_BRANCH_FORMS[fused_opcode],
+                                (arg,) + branch_arg, charge, line)
+            return True
+        elif opcode != op.BINOP_FF:
+            return False
+        if arg[0] not in _COMPARISONS:
             return False
         charge += self.pending
         self.pending = 0

@@ -68,8 +68,9 @@ from repro.osmodel.kernel import Kernel
 from repro.osmodel.syscalls import SyscallKind
 from repro.symbolic.expr import as_condition
 from repro.vm import opcodes as op
+from repro.vm import synth
 from repro.vm.code import CodeObject
-from repro.vm.compiler import compile_program
+from repro.vm.compiler import compile_program, unboxed_form
 
 _MISSING = object()
 
@@ -149,6 +150,17 @@ def _profiled_exec_code():
 #: instance exactly like the compiler's prebuilt CONST operands do.
 _SMALL_INTS = tuple(ConcolicValue(i) for i in range(1025))
 _NSMALL = len(_SMALL_INTS)
+
+#: Generic binary sites the runtime quickening pass may rewrite to their
+#: unboxed forms, grouped by where the operand slots live in the arg tuple:
+#: FC-shaped args carry one slot at index 1, FF-shaped args carry two slots
+#: at indexes 1 and 2 (identical before and after branch-target patching).
+_QUICKEN_FC_SITES = frozenset((op.BINOP_FC, op.BINOP_FC_STORE,
+                               op.BINOP_FC_BRANCH, op.BINOP_FC_BRANCH_BARE,
+                               op.BINOP_FC_BRANCH_LOGGED))
+_QUICKEN_FF_SITES = frozenset((op.BINOP_FF, op.BINOP_FF_STORE,
+                               op.BINOP_FF_BRANCH, op.BINOP_FF_BRANCH_BARE,
+                               op.BINOP_FF_BRANCH_LOGGED))
 
 
 #: Shared slot list for frames of functions without register-allocated
@@ -233,9 +245,26 @@ class VirtualMachine:
         # legacy code whose BRANCH dispatches every event to the hooks.
         self._spec = self._select_specialization()
         plan = getattr(self.hooks, "plan", None) if self._spec else None
+        profile = bool(self.config.profile_opcodes)
+        # Adaptive specialization (unboxed int slots + runtime quickening)
+        # and synthesized superinstructions both require slotted frames, and
+        # both are forced off under the opcode profiler: profiles must count
+        # the generic stream (in-place quickening would make the counts
+        # depend on process warmth, and synth ranking wants the unfused
+        # generic profile as its input).
+        specialize_ints = (self.config.specialize_ints
+                           and self.config.register_allocation and not profile)
+        fusions = (synth.DEFAULT_FUSIONS
+                   if (self.config.synth_superinstructions
+                       and self.config.register_allocation and not profile)
+                   else None)
         self.compiled = compile_program(
             program, plan, resolve=self.config.register_allocation,
-            cmp_branch=self.config.fuse_compare_branch)
+            cmp_branch=self.config.fuse_compare_branch,
+            specialize_ints=specialize_ints, synth_fusions=fusions)
+        self._quicken_hits = 0
+        self._quicken_misses = 0
+        self._quicken_deopts = 0
         # Inline state for the specialized branch opcodes.  ``_rec_append``
         # doubles as the record/replay discriminator in the dispatch loop.
         self._rec_append = None
@@ -332,6 +361,8 @@ class VirtualMachine:
         result.wall_seconds = time.monotonic() - start
         if self.opcode_counts is not None:
             self._publish_opcode_counts()
+        if self._quicken_hits or self._quicken_misses or self._quicken_deopts:
+            self._publish_quicken_counts()
         return result
 
     def _publish_opcode_counts(self) -> None:
@@ -350,6 +381,24 @@ class VirtualMachine:
         for opcode, count in self.opcode_counts.items():
             name = op.OPCODE_NAMES.get(opcode, str(opcode))
             counter(f"vm.opcode.{name}").inc(count)
+
+    def _publish_quicken_counts(self) -> None:
+        """Report quickening activity as ``vm.quicken.*`` counters.
+
+        Flagged ``timing=True``: how many sites warm up, stay generic or
+        deoptimize depends on per-process compile-cache warmth (a second run
+        in the same process starts from the already-rewritten stream), so
+        the counts are volatile cache-state data, not run semantics.
+        """
+
+        from repro.telemetry import runtime as telemetry_runtime
+
+        registry = telemetry_runtime.active()
+        for kind, count in (("hits", self._quicken_hits),
+                            ("misses", self._quicken_misses),
+                            ("deopts", self._quicken_deopts)):
+            if count:
+                registry.counter(f"vm.quicken.{kind}", timing=True).inc(count)
 
     def _call_main(self, argv: List[str]) -> Value:
         main_fn = self.program.main
@@ -393,6 +442,57 @@ class VirtualMachine:
                 f"array index out of bounds ({position} not in 0..{len(cells) - 1})",
                 line, self.current_function_name())
         return base.block, position
+
+    # -- runtime quickening -----------------------------------------------------
+
+    def _quicken_code(self, code: CodeObject,
+                      frame_slots: List[Value]) -> None:
+        """Rewrite *code*'s candidate sites whose operands look int-shaped.
+
+        Called by the warm-up triggers (``ENTRY_WARM`` / ``JUMP_WARM``) with
+        the live frame: a site quickens when every operand slot currently
+        holds a raw int or a concrete :class:`ConcolicValue` — exactly the
+        shapes the unboxed arms accept — and stays generic otherwise.
+        Mis-speculation is safe either way: the unboxed forms carry their
+        generic origin and deoptimize back to it when a guard fails, so the
+        observable run is identical no matter which way a site is rewritten.
+        """
+
+        instructions = code.instructions
+        for site in code.quicken_sites:
+            instr = instructions[site]
+            opcode = instr[0]
+            arg = instr[1]
+            if opcode in _QUICKEN_FC_SITES:
+                left = frame_slots[arg[1]]
+                shaped = (type(left) is int
+                          or (type(left) is ConcolicValue
+                              and left.symbolic is None))
+            elif opcode in _QUICKEN_FF_SITES:
+                left = frame_slots[arg[1]]
+                right = frame_slots[arg[2]]
+                shaped = ((type(left) is int
+                           or (type(left) is ConcolicValue
+                               and left.symbolic is None))
+                          and (type(right) is int
+                               or (type(right) is ConcolicValue
+                                   and right.symbolic is None)))
+            else:
+                # Already rewritten by an earlier trigger (or currently in
+                # unboxed form); leave the site alone.
+                continue
+            if shaped:
+                instructions[site] = unboxed_form(instr)
+                self._quicken_hits += 1
+            else:
+                self._quicken_misses += 1
+
+    def quicken_stats(self) -> Dict[str, int]:
+        """Quickening counters: sites rewritten / left generic / deoptimized."""
+
+        return {"hits": self._quicken_hits,
+                "misses": self._quicken_misses,
+                "deopts": self._quicken_deopts}
 
     # -- the dispatch loop ------------------------------------------------------
 
@@ -447,7 +547,14 @@ class VirtualMachine:
                     raise StepLimitExceeded("interpreter step budget exhausted",
                                             line)
             if opcode == op.LOAD_FAST:
-                push(frame_slots[arg])
+                value = frame_slots[arg]
+                # Unboxed stores keep raw ints in int-typed slots; the
+                # operand stack stays boxed, so re-box on the way out
+                # (interned instances for the common small range).
+                if type(value) is int:
+                    value = _SMALL_INTS[value] if 0 <= value < _NSMALL \
+                        else ConcolicValue(value)
+                push(value)
             elif opcode == op.LOAD:
                 value = frame_vars.get(arg, _MISSING)
                 if value is _MISSING:
@@ -467,6 +574,9 @@ class VirtualMachine:
             elif opcode == op.BINOP_FC:
                 operator, slot, right = arg
                 left = frame_slots[slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
                 if (type(left) is ConcolicValue and left.symbolic is None
                         and right.symbolic is None):
                     a = left.concrete
@@ -515,6 +625,12 @@ class VirtualMachine:
                 operator, left_slot, right_slot = arg
                 left = frame_slots[left_slot]
                 right = frame_slots[right_slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
+                if type(right) is int:
+                    right = _SMALL_INTS[right] if 0 <= right < _NSMALL \
+                        else ConcolicValue(right)
                 if (type(left) is ConcolicValue
                         and type(right) is ConcolicValue
                         and left.symbolic is None and right.symbolic is None):
@@ -560,6 +676,652 @@ class VirtualMachine:
                         raise DivisionByZeroError("division by zero", line)
                 else:
                     push(pointer_binary_op(operator, left, right, line))
+            # The unboxed-int arms (BINOP_II family): operands come straight
+            # out of slots the resolver's type lattice proved (or runtime
+            # quickening observed) to be int-only; arithmetic runs on raw
+            # Python ints and the *_STORE forms keep raw ints in the target
+            # slot, eliminating ConcolicValue construction entirely on hot
+            # loops.  Every arm guards its operands; a violation rewrites the
+            # site back to the generic instruction carried as the arg's last
+            # element (deoptimization), refunds the already-paid charge, and
+            # re-dispatches — the generic arm then produces the identical
+            # observable behaviour, so speculation can never change a run.
+            elif opcode == op.BINOP_II_BRANCH_LOGGED:
+                (operator, left_slot, right_slot,
+                 location, target, slot, generic) = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(right) is ConcolicValue and right.symbolic is None:
+                    right = right.concrete
+                if type(left) is int and type(right) is int:
+                    if operator == "<":
+                        taken = left < right
+                    elif operator == ">":
+                        taken = left > right
+                    elif operator == "==":
+                        taken = left == right
+                    elif operator == "!=":
+                        taken = left != right
+                    elif operator == "<=":
+                        taken = left <= right
+                    else:
+                        taken = left >= right
+                    self.branch_counter += 1
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot] += 1
+                    else:
+                        cursor = cursor_cell[0]
+                        if cursor >= replay_len:
+                            hooks.vm_log_exhausted(location)  # raises AbortRun
+                        cursor_cell[0] = cursor + 1
+                        if replay_bits[cursor] != taken:
+                            hooks.vm_concrete_mismatch(location, cursor)
+                    if not taken:
+                        pc = target
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            elif opcode == op.BINOP_IC_BRANCH_LOGGED:
+                (operator, slot, right,
+                 location, target, slot_idx, generic) = arg
+                left = frame_slots[slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(left) is int:
+                    if operator == "<":
+                        taken = left < right
+                    elif operator == ">":
+                        taken = left > right
+                    elif operator == "==":
+                        taken = left == right
+                    elif operator == "!=":
+                        taken = left != right
+                    elif operator == "<=":
+                        taken = left <= right
+                    else:
+                        taken = left >= right
+                    self.branch_counter += 1
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot_idx] += 1
+                    else:
+                        cursor = cursor_cell[0]
+                        if cursor >= replay_len:
+                            hooks.vm_log_exhausted(location)  # raises AbortRun
+                        cursor_cell[0] = cursor + 1
+                        if replay_bits[cursor] != taken:
+                            hooks.vm_concrete_mismatch(location, cursor)
+                    if not taken:
+                        pc = target
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            # Stack-condition compare-and-branch (fused CONST;BINARY;BRANCH_*
+            # and BINARY;BRANCH_*): boxed stack operands, so there is no
+            # unboxed form and no deopt — symbolic or pointer operands take
+            # the exact slow path of the unfused sequence inline.
+            elif opcode == op.BINOP_SC_BRANCH_LOGGED:
+                operator, right, location, target, slot_idx = arg
+                left = pop()
+                if (type(left) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    sym = None
+                else:
+                    if type(left) is ConcolicValue:
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        sym = value.symbolic
+                    else:
+                        taken = as_int(value).concrete != 0
+                        sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is None:
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot_idx] += 1
+                    else:
+                        cursor = cursor_cell[0]
+                        if cursor >= replay_len:
+                            hooks.vm_log_exhausted(location)  # raises AbortRun
+                        cursor_cell[0] = cursor + 1
+                        if replay_bits[cursor] != taken:
+                            hooks.vm_concrete_mismatch(location, cursor)
+                else:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot_idx] += 1
+                    else:
+                        expr = as_condition(sym)
+                        hooks.vm_logged_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))  # may raise AbortRun
+                if not taken:
+                    pc = target
+            elif opcode == op.BINARY_BRANCH_LOGGED:
+                operator, location, target, slot_idx = arg
+                right = pop()
+                left = pop()
+                if (type(left) is ConcolicValue and type(right) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    sym = None
+                else:
+                    if (type(left) is ConcolicValue
+                            and type(right) is ConcolicValue):
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        sym = value.symbolic
+                    else:
+                        taken = as_int(value).concrete != 0
+                        sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is None:
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot_idx] += 1
+                    else:
+                        cursor = cursor_cell[0]
+                        if cursor >= replay_len:
+                            hooks.vm_log_exhausted(location)  # raises AbortRun
+                        cursor_cell[0] = cursor + 1
+                        if replay_bits[cursor] != taken:
+                            hooks.vm_concrete_mismatch(location, cursor)
+                else:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot_idx] += 1
+                    else:
+                        expr = as_condition(sym)
+                        hooks.vm_logged_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))  # may raise AbortRun
+                if not taken:
+                    pc = target
+            elif opcode == op.BINOP_II_BRANCH_BARE:
+                operator, left_slot, right_slot, location, target, generic = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(right) is ConcolicValue and right.symbolic is None:
+                    right = right.concrete
+                if type(left) is int and type(right) is int:
+                    if operator == "<":
+                        taken = left < right
+                    elif operator == ">":
+                        taken = left > right
+                    elif operator == "==":
+                        taken = left == right
+                    elif operator == "!=":
+                        taken = left != right
+                    elif operator == "<=":
+                        taken = left <= right
+                    else:
+                        taken = left >= right
+                    self.branch_counter += 1
+                    if not taken:
+                        pc = target
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            elif opcode == op.BINOP_IC_BRANCH_BARE:
+                operator, slot, right, location, target, generic = arg
+                left = frame_slots[slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(left) is int:
+                    if operator == "<":
+                        taken = left < right
+                    elif operator == ">":
+                        taken = left > right
+                    elif operator == "==":
+                        taken = left == right
+                    elif operator == "!=":
+                        taken = left != right
+                    elif operator == "<=":
+                        taken = left <= right
+                    else:
+                        taken = left >= right
+                    self.branch_counter += 1
+                    if not taken:
+                        pc = target
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            elif opcode == op.BINOP_IC_STORE:
+                operator, slot, right, target_slot, generic = arg
+                left = frame_slots[slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(left) is int:
+                    if operator == "+":
+                        frame_slots[target_slot] = left + right
+                    elif operator == "-":
+                        frame_slots[target_slot] = left - right
+                    elif operator == "*":
+                        frame_slots[target_slot] = left * right
+                    elif operator == "<":
+                        frame_slots[target_slot] = 1 if left < right else 0
+                    elif operator == ">":
+                        frame_slots[target_slot] = 1 if left > right else 0
+                    elif operator == "==":
+                        frame_slots[target_slot] = 1 if left == right else 0
+                    elif operator == "!=":
+                        frame_slots[target_slot] = 1 if left != right else 0
+                    elif operator == "<=":
+                        frame_slots[target_slot] = 1 if left <= right else 0
+                    else:
+                        frame_slots[target_slot] = 1 if left >= right else 0
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            elif opcode == op.BINOP_II_STORE:
+                operator, left_slot, right_slot, target_slot, generic = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(right) is ConcolicValue and right.symbolic is None:
+                    right = right.concrete
+                if type(left) is int and type(right) is int:
+                    if operator == "+":
+                        frame_slots[target_slot] = left + right
+                    elif operator == "-":
+                        frame_slots[target_slot] = left - right
+                    elif operator == "*":
+                        frame_slots[target_slot] = left * right
+                    elif operator == "<":
+                        frame_slots[target_slot] = 1 if left < right else 0
+                    elif operator == ">":
+                        frame_slots[target_slot] = 1 if left > right else 0
+                    elif operator == "==":
+                        frame_slots[target_slot] = 1 if left == right else 0
+                    elif operator == "!=":
+                        frame_slots[target_slot] = 1 if left != right else 0
+                    elif operator == "<=":
+                        frame_slots[target_slot] = 1 if left <= right else 0
+                    else:
+                        frame_slots[target_slot] = 1 if left >= right else 0
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            elif opcode == op.BINOP_II:
+                operator, left_slot, right_slot, generic = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(right) is ConcolicValue and right.symbolic is None:
+                    right = right.concrete
+                if type(left) is int and type(right) is int:
+                    if operator == "+":
+                        r = left + right
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                    elif operator == "-":
+                        r = left - right
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                    elif operator == "*":
+                        r = left * right
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                    elif operator == "<":
+                        push(ONE if left < right else ZERO)
+                    elif operator == ">":
+                        push(ONE if left > right else ZERO)
+                    elif operator == "==":
+                        push(ONE if left == right else ZERO)
+                    elif operator == "!=":
+                        push(ONE if left != right else ZERO)
+                    elif operator == "<=":
+                        push(ONE if left <= right else ZERO)
+                    else:
+                        push(ONE if left >= right else ZERO)
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            elif opcode == op.BINOP_IC:
+                operator, slot, right, generic = arg
+                left = frame_slots[slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(left) is int:
+                    if operator == "+":
+                        r = left + right
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                    elif operator == "-":
+                        r = left - right
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                    elif operator == "*":
+                        r = left * right
+                        push(_SMALL_INTS[r] if 0 <= r < _NSMALL
+                             else ConcolicValue(r))
+                    elif operator == "<":
+                        push(ONE if left < right else ZERO)
+                    elif operator == ">":
+                        push(ONE if left > right else ZERO)
+                    elif operator == "==":
+                        push(ONE if left == right else ZERO)
+                    elif operator == "!=":
+                        push(ONE if left != right else ZERO)
+                    elif operator == "<=":
+                        push(ONE if left <= right else ZERO)
+                    else:
+                        push(ONE if left >= right else ZERO)
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            elif opcode == op.BINOP_II_BRANCH:
+                operator, left_slot, right_slot, location, target, generic = arg
+                left = frame_slots[left_slot]
+                right = frame_slots[right_slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(right) is ConcolicValue and right.symbolic is None:
+                    right = right.concrete
+                if type(left) is int and type(right) is int:
+                    if operator == "<":
+                        taken = left < right
+                    elif operator == ">":
+                        taken = left > right
+                    elif operator == "==":
+                        taken = left == right
+                    elif operator == "!=":
+                        taken = left != right
+                    elif operator == "<=":
+                        taken = left <= right
+                    else:
+                        taken = left >= right
+                    if null_hooks:
+                        self.branch_counter += 1
+                        if not taken:
+                            pc = target
+                        continue
+                    event = BranchEvent(location=location, taken=taken,
+                                        symbolic=False, condition=None,
+                                        index=self.branch_counter)
+                    self.branch_counter += 1
+                    hooks.on_branch(event)
+                    if not taken:
+                        pc = target
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            elif opcode == op.BINOP_IC_BRANCH:
+                operator, slot, right, location, target, generic = arg
+                left = frame_slots[slot]
+                if type(left) is ConcolicValue and left.symbolic is None:
+                    left = left.concrete
+                if type(left) is int:
+                    if operator == "<":
+                        taken = left < right
+                    elif operator == ">":
+                        taken = left > right
+                    elif operator == "==":
+                        taken = left == right
+                    elif operator == "!=":
+                        taken = left != right
+                    elif operator == "<=":
+                        taken = left <= right
+                    else:
+                        taken = left >= right
+                    if null_hooks:
+                        self.branch_counter += 1
+                        if not taken:
+                            pc = target
+                        continue
+                    event = BranchEvent(location=location, taken=taken,
+                                        symbolic=False, condition=None,
+                                        index=self.branch_counter)
+                    self.branch_counter += 1
+                    hooks.on_branch(event)
+                    if not taken:
+                        pc = target
+                    continue
+                self._quicken_deopts += 1
+                instructions[pc - 1] = generic
+                pc -= 1
+                if charge:
+                    step_cell[0] -= charge
+            # Synthesized superinstructions (profile-driven fusions of
+            # adjacent opcode pairs, see repro.vm.synth): each arm is the
+            # two generic arms spliced together with the combined charge
+            # pre-paid at fetch and the error-capable part's source line
+            # preserved, so steps, events and crash sites match the unfused
+            # pair exactly.
+            elif opcode == op.BINOP_FC_CALL:
+                operator, slot, right, callee, argc, fc_line = arg
+                left = frame_slots[slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
+                if (type(left) is ConcolicValue and left.symbolic is None
+                        and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "+":
+                        r = a + b
+                        value = (_SMALL_INTS[r] if 0 <= r < _NSMALL
+                                 else ConcolicValue(r))
+                    elif operator == "-":
+                        r = a - b
+                        value = (_SMALL_INTS[r] if 0 <= r < _NSMALL
+                                 else ConcolicValue(r))
+                    elif operator == "*":
+                        r = a * b
+                        value = (_SMALL_INTS[r] if 0 <= r < _NSMALL
+                                 else ConcolicValue(r))
+                    elif operator == "<":
+                        value = ONE if a < b else ZERO
+                    elif operator == ">":
+                        value = ONE if a > b else ZERO
+                    elif operator == "==":
+                        value = ONE if a == b else ZERO
+                    elif operator == "!=":
+                        value = ONE if a != b else ZERO
+                    elif operator == "<=":
+                        value = ONE if a <= b else ZERO
+                    elif operator == ">=":
+                        value = ONE if a >= b else ZERO
+                    else:
+                        try:
+                            value = binary_int_op(operator, left, right)
+                        except ZeroDivisionError:
+                            raise DivisionByZeroError("division by zero",
+                                                      fc_line)
+                elif type(left) is ConcolicValue:
+                    try:
+                        value = binary_int_op(operator, left, right)
+                    except ZeroDivisionError:
+                        raise DivisionByZeroError("division by zero", fc_line)
+                else:
+                    value = pointer_binary_op(operator, left, right, fc_line)
+                push(value)
+                if len(frames) >= max_call_depth:
+                    raise ProgramCrash("call stack overflow", line,
+                                       self.current_function_name())
+                param_slots = callee.param_slots
+                callee_frame = _Frame(callee.name, callee.nlocals,
+                                      callee.bare_frame)
+                callee_slots = callee_frame.slots
+                if callee.bare_frame and argc == len(param_slots):
+                    if argc:
+                        callee_slots[:argc] = stack[-argc:]
+                        del stack[-argc:]
+                else:
+                    if argc:
+                        args = stack[-argc:]
+                        del stack[-argc:]
+                    else:
+                        args = []
+                    callee_vars = callee_frame.vars
+                    for index, param_slot in enumerate(param_slots):
+                        value = args[index] if index < argc else ZERO
+                        if param_slot is not None:
+                            callee_slots[param_slot] = value
+                        else:
+                            callee_vars[callee.params[index]] = value
+                call_stack.append((instructions, end, pc, stack, push, pop,
+                                   frame, frame_vars, frame_slots))
+                frames.append(callee_frame)
+                frame = callee_frame
+                frame_vars = callee_frame.vars
+                frame_slots = callee_slots
+                instructions = callee.instructions
+                end = len(instructions)
+                stack = []
+                push = stack.append
+                pop = stack.pop
+                pc = 0
+            elif opcode == op.BINARY_RET:
+                right = pop()
+                left = pop()
+                if type(left) is ConcolicValue and type(right) is ConcolicValue:
+                    try:
+                        value = binary_int_op(arg, left, right)
+                    except ZeroDivisionError:
+                        raise DivisionByZeroError("division by zero", line)
+                else:
+                    value = pointer_binary_op(arg, left, right, line)
+                if not call_stack:
+                    return value
+                frames.pop()
+                (instructions, end, pc, stack, push, pop,
+                 frame, frame_vars, frame_slots) = call_stack.pop()
+                push(value)
+            elif opcode == op.LOAD2_FAST:
+                left_slot, right_slot = arg
+                value = frame_slots[left_slot]
+                if type(value) is int:
+                    value = _SMALL_INTS[value] if 0 <= value < _NSMALL \
+                        else ConcolicValue(value)
+                push(value)
+                value = frame_slots[right_slot]
+                if type(value) is int:
+                    value = _SMALL_INTS[value] if 0 <= value < _NSMALL \
+                        else ConcolicValue(value)
+                push(value)
+            elif opcode == op.LOAD_INDEX_FAST:
+                index = frame_slots[arg]
+                if type(index) is int:
+                    index = _SMALL_INTS[index] if 0 <= index < _NSMALL \
+                        else ConcolicValue(index)
+                base = pop()
+                block, position = self._resolve_element(base, index, line)
+                push(block.cells[position])
+            elif opcode == op.STORE_INDEX_FAST:
+                index = frame_slots[arg]
+                if type(index) is int:
+                    index = _SMALL_INTS[index] if 0 <= index < _NSMALL \
+                        else ConcolicValue(index)
+                base = pop()
+                value = pop()
+                block, position = self._resolve_element(base, index, line)
+                block.cells[position] = value
+            elif opcode == op.LOAD_INDEX_FF:
+                base_slot, index_slot = arg
+                base = frame_slots[base_slot]
+                if type(base) is int:
+                    base = _SMALL_INTS[base] if 0 <= base < _NSMALL \
+                        else ConcolicValue(base)
+                index = frame_slots[index_slot]
+                if type(index) is int:
+                    index = _SMALL_INTS[index] if 0 <= index < _NSMALL \
+                        else ConcolicValue(index)
+                block, position = self._resolve_element(base, index, line)
+                push(block.cells[position])
+            elif opcode == op.STORE_INDEX_FF:
+                base_slot, index_slot = arg
+                base = frame_slots[base_slot]
+                if type(base) is int:
+                    base = _SMALL_INTS[base] if 0 <= base < _NSMALL \
+                        else ConcolicValue(base)
+                index = frame_slots[index_slot]
+                if type(index) is int:
+                    index = _SMALL_INTS[index] if 0 <= index < _NSMALL \
+                        else ConcolicValue(index)
+                value = pop()
+                block, position = self._resolve_element(base, index, line)
+                block.cells[position] = value
+            elif opcode == op.CONST_RET:
+                if not call_stack:
+                    return arg
+                frames.pop()
+                (instructions, end, pc, stack, push, pop,
+                 frame, frame_vars, frame_slots) = call_stack.pop()
+                push(arg)
             # The three compare-and-branch superinstructions (fused
             # BINOP_FF;BRANCH_*): two fully concrete slots decide the branch
             # without materializing the truth value; symbolic or pointer
@@ -570,6 +1332,12 @@ class VirtualMachine:
                 operator, left_slot, right_slot, location, target, slot = arg
                 left = frame_slots[left_slot]
                 right = frame_slots[right_slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
+                if type(right) is int:
+                    right = _SMALL_INTS[right] if 0 <= right < _NSMALL \
+                        else ConcolicValue(right)
                 if (type(left) is ConcolicValue
                         and type(right) is ConcolicValue
                         and left.symbolic is None and right.symbolic is None):
@@ -630,6 +1398,12 @@ class VirtualMachine:
                 operator, left_slot, right_slot, location, target = arg
                 left = frame_slots[left_slot]
                 right = frame_slots[right_slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
+                if type(right) is int:
+                    right = _SMALL_INTS[right] if 0 <= right < _NSMALL \
+                        else ConcolicValue(right)
                 if (type(left) is ConcolicValue
                         and type(right) is ConcolicValue
                         and left.symbolic is None and right.symbolic is None):
@@ -676,6 +1450,12 @@ class VirtualMachine:
                 operator, left_slot, right_slot, location, target = arg
                 left = frame_slots[left_slot]
                 right = frame_slots[right_slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
+                if type(right) is int:
+                    right = _SMALL_INTS[right] if 0 <= right < _NSMALL \
+                        else ConcolicValue(right)
                 if (type(left) is ConcolicValue
                         and type(right) is ConcolicValue
                         and left.symbolic is None and right.symbolic is None):
@@ -729,9 +1509,377 @@ class VirtualMachine:
                 hooks.on_branch(event)
                 if not taken:
                     pc = target
+            # The slot-vs-const flavour (fused BINOP_FC;BRANCH_*): only
+            # emitted under the specialization tier, where it is the deopt
+            # target of BINOP_IC_BRANCH* and the generic form quickening
+            # rewrites from.  Same exactness contract as the FF arms above.
+            elif opcode == op.BINOP_FC_BRANCH_LOGGED:
+                operator, slot, right, location, target, slot_idx = arg
+                left = frame_slots[slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
+                if (type(left) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    sym = None
+                else:
+                    if type(left) is ConcolicValue:
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        sym = value.symbolic
+                    else:
+                        taken = as_int(value).concrete != 0
+                        sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is None:
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot_idx] += 1
+                    else:
+                        cursor = cursor_cell[0]
+                        if cursor >= replay_len:
+                            hooks.vm_log_exhausted(location)  # raises AbortRun
+                        cursor_cell[0] = cursor + 1
+                        if replay_bits[cursor] != taken:
+                            hooks.vm_concrete_mismatch(location, cursor)
+                else:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is not None:
+                        rec_append(taken)
+                        slot_counts[slot_idx] += 1
+                    else:
+                        expr = as_condition(sym)
+                        hooks.vm_logged_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))  # may raise AbortRun
+                if not taken:
+                    pc = target
+            elif opcode == op.BINOP_FC_BRANCH_BARE:
+                operator, slot, right, location, target = arg
+                left = frame_slots[slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
+                if (type(left) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    sym = None
+                else:
+                    if type(left) is ConcolicValue:
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        sym = value.symbolic
+                    else:
+                        taken = as_int(value).concrete != 0
+                        sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is not None:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is None:
+                        expr = as_condition(sym)
+                        hooks.vm_bare_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))
+                if not taken:
+                    pc = target
+            elif opcode == op.BINOP_FC_BRANCH:
+                operator, slot, right, location, target = arg
+                left = frame_slots[slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
+                if (type(left) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    symbolic = False
+                    condition_source = None
+                else:
+                    if type(left) is ConcolicValue:
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        condition_source = value.symbolic
+                        symbolic = condition_source is not None
+                    else:
+                        taken = as_int(value).concrete != 0
+                        symbolic = False
+                        condition_source = None
+                if null_hooks:
+                    self.branch_counter += 1
+                    if symbolic:
+                        self.symbolic_branch_counter += 1
+                    if not taken:
+                        pc = target
+                    continue
+                condition = None
+                if symbolic:
+                    expr = as_condition(condition_source)
+                    condition = expr if taken else expr.negated()
+                event = BranchEvent(location=location, taken=taken,
+                                    symbolic=symbolic, condition=condition,
+                                    index=self.branch_counter)
+                self.branch_counter += 1
+                if symbolic:
+                    self.symbolic_branch_counter += 1
+                hooks.on_branch(event)
+                if not taken:
+                    pc = target
+            elif opcode == op.BINOP_SC_BRANCH_BARE:
+                operator, right, location, target = arg
+                left = pop()
+                if (type(left) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    sym = None
+                else:
+                    if type(left) is ConcolicValue:
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        sym = value.symbolic
+                    else:
+                        taken = as_int(value).concrete != 0
+                        sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is not None:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is None:
+                        expr = as_condition(sym)
+                        hooks.vm_bare_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))
+                if not taken:
+                    pc = target
+            elif opcode == op.BINOP_SC_BRANCH:
+                operator, right, location, target = arg
+                left = pop()
+                if (type(left) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    symbolic = False
+                    condition_source = None
+                else:
+                    if type(left) is ConcolicValue:
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        condition_source = value.symbolic
+                        symbolic = condition_source is not None
+                    else:
+                        taken = as_int(value).concrete != 0
+                        symbolic = False
+                        condition_source = None
+                if null_hooks:
+                    self.branch_counter += 1
+                    if symbolic:
+                        self.symbolic_branch_counter += 1
+                    if not taken:
+                        pc = target
+                    continue
+                condition = None
+                if symbolic:
+                    expr = as_condition(condition_source)
+                    condition = expr if taken else expr.negated()
+                event = BranchEvent(location=location, taken=taken,
+                                    symbolic=symbolic, condition=condition,
+                                    index=self.branch_counter)
+                self.branch_counter += 1
+                if symbolic:
+                    self.symbolic_branch_counter += 1
+                hooks.on_branch(event)
+                if not taken:
+                    pc = target
+            elif opcode == op.BINARY_BRANCH_BARE:
+                operator, location, target = arg
+                right = pop()
+                left = pop()
+                if (type(left) is ConcolicValue and type(right) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    sym = None
+                else:
+                    if (type(left) is ConcolicValue
+                            and type(right) is ConcolicValue):
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        sym = value.symbolic
+                    else:
+                        taken = as_int(value).concrete != 0
+                        sym = None
+                index = self.branch_counter
+                self.branch_counter = index + 1
+                if sym is not None:
+                    self.symbolic_branch_counter += 1
+                    if rec_append is None:
+                        expr = as_condition(sym)
+                        hooks.vm_bare_symbolic(BranchEvent(
+                            location=location, taken=taken, symbolic=True,
+                            condition=expr if taken else expr.negated(),
+                            index=index))
+                if not taken:
+                    pc = target
+            elif opcode == op.BINARY_BRANCH:
+                operator, location, target = arg
+                right = pop()
+                left = pop()
+                if (type(left) is ConcolicValue and type(right) is ConcolicValue
+                        and left.symbolic is None and right.symbolic is None):
+                    a = left.concrete
+                    b = right.concrete
+                    if operator == "==":
+                        taken = a == b
+                    elif operator == "!=":
+                        taken = a != b
+                    elif operator == "<":
+                        taken = a < b
+                    elif operator == ">":
+                        taken = a > b
+                    elif operator == "<=":
+                        taken = a <= b
+                    else:
+                        taken = a >= b
+                    symbolic = False
+                    condition_source = None
+                else:
+                    if (type(left) is ConcolicValue
+                            and type(right) is ConcolicValue):
+                        value = binary_int_op(operator, left, right)
+                    else:
+                        value = pointer_binary_op(operator, left, right, line)
+                    if type(value) is ConcolicValue:
+                        taken = value.concrete != 0
+                        condition_source = value.symbolic
+                        symbolic = condition_source is not None
+                    else:
+                        taken = as_int(value).concrete != 0
+                        symbolic = False
+                        condition_source = None
+                if null_hooks:
+                    self.branch_counter += 1
+                    if symbolic:
+                        self.symbolic_branch_counter += 1
+                    if not taken:
+                        pc = target
+                    continue
+                condition = None
+                if symbolic:
+                    expr = as_condition(condition_source)
+                    condition = expr if taken else expr.negated()
+                event = BranchEvent(location=location, taken=taken,
+                                    symbolic=symbolic, condition=condition,
+                                    index=self.branch_counter)
+                self.branch_counter += 1
+                if symbolic:
+                    self.symbolic_branch_counter += 1
+                hooks.on_branch(event)
+                if not taken:
+                    pc = target
             elif opcode == op.BINOP_FC_STORE:
                 operator, slot, right, target_slot = arg
                 left = frame_slots[slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
                 if (type(left) is ConcolicValue and left.symbolic is None
                         and right.symbolic is None):
                     a = left.concrete
@@ -785,6 +1933,12 @@ class VirtualMachine:
                 operator, left_slot, right_slot, target_slot = arg
                 left = frame_slots[left_slot]
                 right = frame_slots[right_slot]
+                if type(left) is int:
+                    left = _SMALL_INTS[left] if 0 <= left < _NSMALL \
+                        else ConcolicValue(left)
+                if type(right) is int:
+                    right = _SMALL_INTS[right] if 0 <= right < _NSMALL \
+                        else ConcolicValue(right)
                 if (type(left) is ConcolicValue
                         and type(right) is ConcolicValue
                         and left.symbolic is None and right.symbolic is None):
@@ -1131,6 +2285,9 @@ class VirtualMachine:
                 push(value)
             elif opcode == op.LOAD_FAST_RET:
                 value = frame_slots[arg]
+                if type(value) is int:
+                    value = _SMALL_INTS[value] if 0 <= value < _NSMALL \
+                        else ConcolicValue(value)
                 if not call_stack:
                     return value
                 frames.pop()
@@ -1238,6 +2395,12 @@ class VirtualMachine:
             elif opcode == op.ADDR_FAST:
                 slot, name = arg
                 value = frame_slots[slot]
+                # Address-taken slots are excluded from int specialization,
+                # but normalize defensively: a raw int must never escape
+                # into an addressable cell.
+                if type(value) is int:
+                    value = _SMALL_INTS[value] if 0 <= value < _NSMALL \
+                        else ConcolicValue(value)
                 if isinstance(value, Pointer):
                     push(value)
                 else:
@@ -1296,6 +2459,26 @@ class VirtualMachine:
                     f"call to undefined function '{arg}'", line)
             elif opcode == op.INVALID_TARGET:
                 raise RuntimeMiniCError("invalid assignment target", line)
+            elif opcode == op.ENTRY_WARM:
+                # Function-entry warm-up trigger: after the countdown
+                # reaches zero, quicken the code object's candidate sites
+                # against the live frame and retire the trigger to a NOP
+                # (same zero charge), so steady state pays nothing.
+                cell, warm_code = arg
+                cell[0] -= 1
+                if cell[0] <= 0:
+                    self._quicken_code(warm_code, frame_slots)
+                    instructions[pc - 1] = (op.NOP, None, charge, line)
+            elif opcode == op.JUMP_WARM:
+                # Loop-backedge warm-up trigger: like ENTRY_WARM, but hot
+                # loops warm up even when the surrounding function is called
+                # once; retires to the plain JUMP it replaced.
+                target, cell, warm_code = arg
+                cell[0] -= 1
+                if cell[0] <= 0:
+                    self._quicken_code(warm_code, frame_slots)
+                    instructions[pc - 1] = (op.JUMP, target, charge, line)
+                pc = target
             elif opcode == op.NOP:
                 pass
             else:  # pragma: no cover - the compiler emits no other opcodes

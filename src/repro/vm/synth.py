@@ -1,0 +1,195 @@
+"""Profile-driven superinstruction synthesis.
+
+PR 6's zero-off-cost ``vm.opcode.*`` profiler records exact per-opcode
+dispatch counts; this module turns those profiles into fusion decisions
+instead of hand-picking superinstructions.  The pipeline:
+
+1. :func:`static_pair_counts` counts adjacent opcode pairs in a compiled
+   program's instruction streams (the candidate *sites*);
+2. :func:`rank_candidates` scores every entry of :data:`PAIR_CATALOG` by
+   combining static adjacency with the recorded dynamic dispatch counts
+   (the score of a pair is bounded by its rarer member — a pair cannot
+   execute more often than either opcode does);
+3. :func:`select_fusions` keeps the top-scoring candidates, and the
+   compiler's peephole fuser (:meth:`_FunctionEmitter._apply_synth`)
+   materializes them via :func:`try_fuse`.
+
+:data:`DEFAULT_FUSIONS` is the selection this procedure produces on the
+shipped workloads' recorded profiles (fibonacci, microbench, userver), so
+production runs get profile-driven fusion without carrying a live profile
+around.  The catalog only contains pairs whose fusion is observation-
+equivalent by construction: charges are summed (step parity), the source
+line of each fusible-error part is preserved (crash-site parity), and no
+pair crosses a branch-event boundary.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.vm import opcodes as op
+from repro.vm.opcodes import OPCODE_NAMES
+
+#: Fusible adjacent pairs: name -> (first opcode, second opcode).  RET-family
+#: pairs are safe because RET carries no error of its own; the BINOP_FC;CALL
+#: pair keeps the FC part's source line in its arg for exact crash sites.
+PAIR_CATALOG: Dict[str, Tuple[int, int]] = {
+    "load2_fast": (op.LOAD_FAST, op.LOAD_FAST),
+    "load_index_fast": (op.LOAD_FAST, op.LOAD_INDEX),
+    "store_index_fast": (op.LOAD_FAST, op.STORE_INDEX),
+    "binop_fc_call": (op.BINOP_FC, op.CALL),
+    "binary_ret": (op.BINARY, op.RET),
+    "const_ret": (op.CONST, op.RET),
+    # Second-round pairs: the first member is itself a fusion product, so
+    # these only match on the fuser's second pass (an all-slot array access
+    # collapses LOAD_FAST;LOAD_FAST;LOAD_INDEX into one dispatch).
+    "load_index_ff": (op.LOAD2_FAST, op.LOAD_INDEX),
+    "store_index_ff": (op.LOAD2_FAST, op.STORE_INDEX),
+}
+
+#: The selection :func:`select_fusions` yields on the shipped workloads'
+#: recorded dispatch profiles (``python -m repro stats --opcodes`` over a
+#: ``telemetry.profile_vm`` run of fibonacci/microbench/userver).  Kept as a
+#: literal so every run benefits without re-profiling; re-derive after adding
+#: workloads or opcodes.
+DEFAULT_FUSIONS: Tuple[str, ...] = (
+    "binop_fc_call", "binary_ret", "store_index_fast", "load_index_fast",
+    "load2_fast", "const_ret", "load_index_ff", "store_index_ff")
+
+
+def static_pair_counts(compiled) -> Counter:
+    """Count adjacent ``(opcode, opcode)`` pairs across all code objects."""
+
+    pairs: Counter = Counter()
+    streams = [code.instructions for code in compiled.functions.values()]
+    if compiled.globals_code is not None:
+        streams.append(compiled.globals_code.instructions)
+    for instructions in streams:
+        for index in range(len(instructions) - 1):
+            pairs[(instructions[index][0], instructions[index + 1][0])] += 1
+    return pairs
+
+
+def profile_from_records(records: Iterable[dict]) -> Dict[str, int]:
+    """Extract ``vm.opcode.*`` dispatch counts from telemetry records.
+
+    Accepts the dict stream of ``repro.telemetry.read_jsonl`` (or a registry
+    snapshot's ``counters`` mapping re-shaped the same way) and returns
+    ``{opcode name: count}``.
+    """
+
+    counts: Dict[str, int] = {}
+    for record in records:
+        name = record.get("name", "")
+        if not name.startswith("vm.opcode."):
+            continue
+        value = record.get("value", record.get("count", 0))
+        counts[name[len("vm.opcode."):]] = \
+            counts.get(name[len("vm.opcode."):], 0) + int(value)
+    return counts
+
+
+def render_dispatch_table(counts: Dict[str, int], top: int = 12) -> str:
+    """The ``python -m repro stats --opcodes`` view of a dispatch profile.
+
+    Top-*top* opcodes by exact execution count, with each opcode's share of
+    all dispatches and its observation class — ``logged`` (branch opcodes
+    that append to the bitvector), ``bare`` (plan-specialized unlogged
+    branches) or ``-`` (everything else).  The footer totals the
+    logged-vs-bare split, which the distinct ``*_LOGGED`` / ``*_BARE``
+    opcode forms make exact by construction.
+    """
+
+    if not counts:
+        return "(no vm.opcode.* records)"
+    total = sum(counts.values())
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    width = max(len(name) for name, _count in ranked[:top])
+    lines = [f"{'opcode':<{width}}  {'count':>12}  {'share':>6}  class"]
+    for name, count in ranked[:top]:
+        if name.endswith("_LOGGED"):
+            klass = "logged"
+        elif name.endswith("_BARE"):
+            klass = "bare"
+        else:
+            klass = "-"
+        lines.append(f"{name:<{width}}  {count:>12}  "
+                     f"{100.0 * count / total:>5.1f}%  {klass}")
+    logged = sum(c for n, c in counts.items() if n.endswith("_LOGGED"))
+    bare = sum(c for n, c in counts.items() if n.endswith("_BARE"))
+    lines.append(f"total dispatches: {total}  "
+                 f"(logged branches: {logged}, bare branches: {bare}, "
+                 f"shown: {min(top, len(ranked))}/{len(ranked)} opcodes)")
+    return "\n".join(lines)
+
+
+def rank_candidates(static_pairs: Counter,
+                    opcode_counts: Dict[str, int],
+                    ) -> List[Tuple[str, int]]:
+    """Score catalog entries; highest first.
+
+    A pair only scores when it occurs statically (there is a site to fuse)
+    and both members were dispatched; the dynamic score is the rarer
+    member's count (an upper bound on how many dispatches fusion can save
+    per occurrence chain).
+    """
+
+    scored: List[Tuple[str, int]] = []
+    for name, (first, second) in PAIR_CATALOG.items():
+        if not static_pairs.get((first, second)):
+            continue
+        dynamic = min(opcode_counts.get(OPCODE_NAMES[first], 0),
+                      opcode_counts.get(OPCODE_NAMES[second], 0))
+        if dynamic > 0:
+            scored.append((name, dynamic))
+    scored.sort(key=lambda item: (-item[1], item[0]))
+    return scored
+
+
+def select_fusions(compiled, opcode_counts: Dict[str, int],
+                   limit: int = 5) -> Tuple[str, ...]:
+    """The top-*limit* fusions for this program under this profile."""
+
+    ranked = rank_candidates(static_pair_counts(compiled), opcode_counts)
+    return tuple(name for name, _score in ranked[:limit])
+
+
+def try_fuse(selections: Sequence[str], first: tuple, second: tuple,
+             ) -> Optional[tuple]:
+    """Fuse two adjacent instructions if a selected pattern matches.
+
+    Charges are summed so step accounting stays exact; the line of the part
+    that can raise is kept (LOAD_INDEX errors at the index expression's
+    line, BINARY division-by-zero at the operator's line, BINOP_FC errors at
+    the FC line carried inside the fused arg).
+    """
+
+    first_op, first_arg, first_charge, first_line = first
+    second_op, second_arg, second_charge, second_line = second
+    charge = first_charge + second_charge
+    for name in selections:
+        pattern = PAIR_CATALOG.get(name)
+        if pattern is None or pattern != (first_op, second_op):
+            continue
+        if name == "load2_fast":
+            return (op.LOAD2_FAST, (first_arg, second_arg), charge,
+                    first_line or second_line)
+        if name == "load_index_fast":
+            return (op.LOAD_INDEX_FAST, first_arg, charge, second_line)
+        if name == "store_index_fast":
+            return (op.STORE_INDEX_FAST, first_arg, charge, second_line)
+        if name == "load_index_ff":
+            return (op.LOAD_INDEX_FF, first_arg, charge, second_line)
+        if name == "store_index_ff":
+            return (op.STORE_INDEX_FF, first_arg, charge, second_line)
+        if name == "binop_fc_call":
+            callee, argc = second_arg
+            return (op.BINOP_FC_CALL, first_arg + (callee, argc, first_line),
+                    charge, second_line)
+        if name == "binary_ret":
+            return (op.BINARY_RET, first_arg, charge, first_line)
+        if name == "const_ret":
+            return (op.CONST_RET, first_arg, charge,
+                    first_line or second_line)
+    return None

@@ -336,7 +336,8 @@ class _SnippetGenerator:
 
 
 def run_fingerprint(program: Program, backend: str,
-                    register_allocation: bool) -> tuple:
+                    register_allocation: bool,
+                    specialize: bool = True) -> tuple:
     recorder = TraceRecorder()
     executor = create_backend(
         program,
@@ -345,7 +346,9 @@ def run_fingerprint(program: Program, backend: str,
         binder=InputBinder(mode=ExecutionMode.RECORD),
         config=ExecutionConfig(mode=ExecutionMode.RECORD, backend=backend,
                                max_steps=60_000,
-                               register_allocation=register_allocation),
+                               register_allocation=register_allocation,
+                               specialize_ints=specialize,
+                               synth_superinstructions=specialize),
     )
     result = executor.run(["fuzz", "7"])
     crash = None
@@ -372,3 +375,135 @@ def test_fuzzed_resolution_parity(seed):
         named = run_fingerprint(program, "vm", False)
         interp = run_fingerprint(program, "interp", True)
         assert resolved == named == interp, source
+
+
+# ---------------------------------------------------------------------------
+# Fuzzed adaptive-specialization parity: the unboxed/quickened/synthesized
+# VM is observably identical to the generic slot VM and the interpreter —
+# same steps, branch events, syscalls, crash sites and stdout — and the
+# replay search it drives explores the identical fan-out.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzzed_specialization_parity(seed):
+    """Specialized VM == generic slot VM == interpreter on random snippets.
+
+    The generator leans into the specializer's risk surface: implicitly
+    declared ints, shadowing (slot reuse across sibling blocks), loops
+    (warm-up triggers fire mid-run), symbolic ``atoi`` input flowing into
+    compare-and-branch sites, and undefined-name crashes (crash-site parity
+    through fused superinstructions).
+    """
+
+    rng = random.Random(20260807 + seed)
+    for iteration in range(10):
+        source = _SnippetGenerator(rng).program()
+        program = Program.from_source(
+            source, name=f"spec-fuzz-{seed}-{iteration}")
+        specialized = run_fingerprint(program, "vm", True, specialize=True)
+        generic = run_fingerprint(program, "vm", True, specialize=False)
+        interp = run_fingerprint(program, "interp", True)
+        assert specialized == generic == interp, source
+
+
+def _fanout_fingerprint(outcome) -> tuple:
+    crash = None
+    if outcome.crash_site is not None:
+        crash = (outcome.crash_site.function, outcome.crash_site.line)
+    return (
+        outcome.reproduced, outcome.runs, outcome.solver_calls,
+        tuple((r.outcome, r.consumed_bits, r.constraints, r.deviation)
+              for r in outcome.run_records),
+        tuple(sorted(outcome.pending_stats.items())),
+        tuple(sorted(outcome.found_input.items())),
+        crash,
+    )
+
+
+def _fuzz_replay_search(pipeline, recording, specialize: bool, workers: int,
+                        worker_kind: str = "thread"):
+    from repro.core.config import ReplayBudget
+    from repro.replay.engine import ReplayEngine
+
+    engine = ReplayEngine(
+        program=pipeline.program,
+        plan=recording.plan,
+        bitvector=recording.bitvector,
+        syscall_log=(recording.syscall_log
+                     if recording.plan.log_syscalls else None),
+        crash_site=recording.crash_site,
+        environment=recording.environment.scaffold(),
+        # Run-count bounded so the termination point is deterministic
+        # across substrates and machines.
+        budget=ReplayBudget(max_runs=24, max_seconds=600),
+        backend="vm",
+        workers=workers,
+        worker_kind=worker_kind,
+        specialize_ints=specialize,
+        synth_superinstructions=specialize,
+    )
+    return engine.reproduce()
+
+
+def _fanout_source(seed: int) -> str:
+    """A fuzzed program whose crash depends on symbolic input.
+
+    The generated body (over pre-declared names, so it cannot crash on its
+    own) stirs the specialization tiers — int arithmetic, loops, branches
+    on the symbolic char ``x`` — while the guarded undefined-name crash on
+    the second symbolic char ``q`` (a name the generator never uses) only
+    fires for part of the input space: recorded ``'E'`` crashes, the
+    scaffolded replay input does not, so the search must fan out and solve
+    its way back to the crash.
+    """
+
+    rng = random.Random(20260808 + seed)
+    generator = _SnippetGenerator(rng)
+    body = " ".join(generator.statement(1, allow_loop=True)
+                    for _ in range(4))
+    return ("int main(int argc, char **argv) { "
+            "int a = 0; int b = 1; int c = 2; int d = 3; int y = 4; "
+            "char *arg = argv[1]; int x = arg[0]; int q = arg[1]; "
+            + body +
+            " if ((q > 67) && (q < 75)) { q = boom + 1; } "
+            'printf("end %d %d\\n", q, x); return q; }')
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_fuzzed_specialization_replay_fanout(seed):
+    """The replay search fans out identically with specialization on or off.
+
+    Record once, then search the recorded crash with specialization off
+    (serial), on (serial), and on across a process pool — every
+    configuration must explore the identical run tree: same run count,
+    per-run outcomes, consumed bits, deviation points, solver calls and
+    found input.
+    """
+
+    from repro.core.pipeline import Pipeline
+    from repro.instrument.methods import InstrumentationMethod
+
+    source = _fanout_source(seed)
+    pipeline = Pipeline.from_source(source, name=f"spec-fan-{seed}")
+    environment = simple_environment(["fuzz", "EE"], name="fuzz")
+    plan = pipeline.make_plan(InstrumentationMethod.NONE,
+                              environment=environment)
+    recording = pipeline.record(plan, environment)
+    assert recording.crash_site is not None, source
+    reference = _fanout_fingerprint(
+        _fuzz_replay_search(pipeline, recording, False, 1))
+    assert reference[0], source  # the generic search reproduces the crash
+    assert reference[1] >= 2, source  # ...and really fanned out to do so
+    serial = _fanout_fingerprint(
+        _fuzz_replay_search(pipeline, recording, True, 1))
+    assert serial == reference, source
+    threaded = _fanout_fingerprint(
+        _fuzz_replay_search(pipeline, recording, True, 2, "thread"))
+    assert threaded == reference, source
+    # Process workers rebuild the engine from a pickled spec in their own
+    # interpreters; the specialization knobs must survive the round-trip
+    # and commit the same serial pop order.
+    pooled = _fanout_fingerprint(
+        _fuzz_replay_search(pipeline, recording, True, 2, "process"))
+    assert pooled == reference, source
