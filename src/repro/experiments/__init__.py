@@ -19,6 +19,7 @@ from repro.experiments import (
     diff_exp,
     micro_exp,
     net_exp,
+    planner_exp,
     replay_search_exp,
     service_exp,
     userver_exp,
@@ -31,6 +32,7 @@ __all__ = [
     "format_table",
     "micro_exp",
     "net_exp",
+    "planner_exp",
     "print_table",
     "replay_search_exp",
     "service_exp",

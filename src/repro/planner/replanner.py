@@ -1,0 +1,204 @@
+"""The replanner: seeded, deterministic plan revision from fleet evidence.
+
+The policy implements the paper's trade directly.  Dropping logging from a
+branch the profiles show as *concrete-only* is correctness-preserving: the
+replay hook moves from "logged, concrete" to "unlogged, concrete" (cases
+3 → 4 of the four-case policy), the bit simply stops being recorded and the
+search tree is unchanged.  Dropping a *symbolic* branch would instead push
+search cost up (case 2 → 1), so the policy never does it.  Conversely,
+adding logging to a symbolic branch prunes search (case 1 → 2), which is
+where freed budget goes — concentrated on functions whose searches were
+observed to be expensive.
+
+Determinism contract: given the same :class:`FleetObservations` and the
+same :class:`ReplanPolicy` (including its seed), :meth:`Replanner.propose`
+returns byte-identical revisions.  All candidate orderings are total
+(cost-descending, then location identity) and the seed only permutes
+*equal-cost ties*, so the seed is meaningful without making the outcome
+run-order dependent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.instrument.overhead import OverheadModel
+from repro.instrument.plan import InstrumentationPlan
+from repro.lang.cfg import BranchLocation
+
+from .ledger import replan_method
+from .observations import BranchEvidence, FleetObservations, ProgramObservations
+
+__all__ = ["PlanRevision", "ReplanPolicy", "Replanner"]
+
+
+@dataclass
+class ReplanPolicy:
+    """Tunable knobs of the revision policy; all defaults are deterministic."""
+
+    seed: int = 0
+    #: Fraction of the droppable pool removed per generation.
+    max_drop_fraction: float = 0.5
+    #: Always drop at least this many when the pool is non-empty.
+    min_drop: int = 1
+    #: Cap on symbolic branches newly instrumented per generation.
+    max_add: int = 2
+
+
+def _row(location: BranchLocation) -> List[object]:
+    return [location.function, location.node_id, location.line, location.kind]
+
+
+@dataclass
+class PlanRevision:
+    """Machine-readable diff between a plan version and its parent."""
+
+    program: str
+    version: int
+    parent: int
+    seed: int
+    dropped: List[List[object]] = field(default_factory=list)
+    added: List[List[object]] = field(default_factory=list)
+    #: Predicted change in per-run instrumentation work units.
+    predicted_units_delta: int = 0
+    #: Predicted change in recording overhead, in percentage points.
+    predicted_overhead_delta_percent: float = 0.0
+    #: Concrete-only branches still instrumented after this revision.
+    droppable_remaining: int = 0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "version": self.version,
+            "parent": self.parent,
+            "seed": self.seed,
+            "dropped": self.dropped,
+            "added": self.added,
+            "predicted_units_delta": self.predicted_units_delta,
+            "predicted_overhead_delta_percent": round(
+                self.predicted_overhead_delta_percent, 3),
+            "droppable_remaining": self.droppable_remaining,
+        }
+
+
+class Replanner:
+    """Derives the next plan version of a program from fleet evidence."""
+
+    def __init__(self, policy: Optional[ReplanPolicy] = None,
+                 overhead_model: Optional[OverheadModel] = None) -> None:
+        self.policy = policy or ReplanPolicy()
+        self.overhead_model = overhead_model or OverheadModel()
+
+    # -- candidate selection ----------------------------------------------------
+
+    def _droppable(self, plan: InstrumentationPlan,
+                   obs: ProgramObservations) -> List[BranchEvidence]:
+        """Instrumented branches that paid and never pruned.
+
+        Requires positive observed cost (``logged_executions``) so a drop
+        always strictly reduces measured overhead, and zero symbolic
+        executions so the drop cannot change any search tree.
+        """
+
+        out = []
+        for record in obs.sorted_evidence():
+            if (plan.is_instrumented(record.location)
+                    and record.logged_executions > 0
+                    and record.symbolic_executions == 0):
+                out.append(record)
+        return out
+
+    def _addable(self, plan: InstrumentationPlan,
+                 obs: ProgramObservations) -> List[BranchEvidence]:
+        """Unlogged symbolic branches in functions with expensive searches."""
+
+        expensive = set(obs.expensive_functions())
+        out = []
+        for record in obs.sorted_evidence():
+            if (not plan.is_instrumented(record.location)
+                    and record.location in plan.all_locations
+                    and record.symbolic_executions > 0
+                    and record.location.function in expensive):
+                out.append(record)
+        return out
+
+    @staticmethod
+    def _cost_ordered(records: List[BranchEvidence], cost,
+                      rng: random.Random) -> List[BranchEvidence]:
+        """Cost-descending order; the seed permutes only equal-cost ties."""
+
+        groups: Dict[int, List[BranchEvidence]] = {}
+        for record in records:
+            groups.setdefault(cost(record), []).append(record)
+        ordered: List[BranchEvidence] = []
+        for value in sorted(groups, reverse=True):
+            tie = sorted(groups[value],
+                         key=lambda r: (r.location.function,
+                                        r.location.node_id))
+            rng.shuffle(tie)
+            ordered.extend(tie)
+        return ordered
+
+    # -- the revision -----------------------------------------------------------
+
+    def propose(self, program: str, plan: InstrumentationPlan,
+                observations: FleetObservations, version: int,
+                parent: int) -> Optional[Tuple[InstrumentationPlan,
+                                               PlanRevision]]:
+        """The next plan version, or None once the policy has converged."""
+
+        obs = observations.programs.get(program)
+        if obs is None:
+            return None
+        droppable = self._droppable(plan, obs)
+        if not droppable:
+            return None
+
+        rng = random.Random((self.policy.seed, program, version).__repr__())
+        ordered = self._cost_ordered(
+            droppable, lambda r: r.logged_executions, rng)
+        count = max(self.policy.min_drop,
+                    int(self.policy.max_drop_fraction * len(ordered)))
+        dropped = ordered[:min(count, len(ordered))]
+        dropped_units = sum(r.last_executions for r in dropped) \
+            * self.overhead_model.branch_instructions
+
+        added: List[BranchEvidence] = []
+        added_units = 0
+        for record in self._cost_ordered(
+                self._addable(plan, obs),
+                lambda r: r.symbolic_executions, rng):
+            if len(added) >= self.policy.max_add:
+                break
+            units = record.last_executions \
+                * self.overhead_model.branch_instructions
+            # Additions spend freed budget, never more: the revision's
+            # predicted cost must stay strictly below the parent's.
+            if added_units + units >= dropped_units:
+                continue
+            added.append(record)
+            added_units += units
+
+        dropped_set = {r.location for r in dropped}
+        instrumented = (set(plan.instrumented) - dropped_set) \
+            | {r.location for r in added}
+        revised = InstrumentationPlan.from_sets(
+            method=replan_method(version),
+            instrumented=instrumented,
+            all_locations=plan.all_locations,
+            log_syscalls=plan.log_syscalls)
+
+        units_delta = added_units - dropped_units
+        base = obs.base_units
+        revision = PlanRevision(
+            program=program, version=version, parent=parent,
+            seed=self.policy.seed,
+            dropped=sorted(_row(r.location) for r in dropped),
+            added=sorted(_row(r.location) for r in added),
+            predicted_units_delta=units_delta,
+            predicted_overhead_delta_percent=(
+                100.0 * units_delta / base if base else 0.0),
+            droppable_remaining=len(droppable) - len(dropped))
+        return revised, revision

@@ -32,6 +32,14 @@ Quickstart (the developer site, serving a spool of shipped bug reports)::
 """
 
 from repro.core.pipeline import Pipeline
+from repro.planner import (
+    FleetObservations,
+    PlanLedger,
+    PlanRevision,
+    PlanVersion,
+    ReplanPolicy,
+    Replanner,
+)
 from repro.service.config import (
     ExecutionSection,
     InstrumentationSection,
@@ -72,9 +80,15 @@ __all__ = [
     "ExecutionSection",
     "FaultInjector",
     "FaultSpec",
+    "FleetObservations",
     "IngestResult",
     "InstrumentationSection",
     "NULL_FAULTS",
+    "PlanLedger",
+    "PlanRevision",
+    "PlanVersion",
+    "ReplanPolicy",
+    "Replanner",
     "ReplaySection",
     "ReproConfig",
     "ReproService",

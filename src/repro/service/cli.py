@@ -110,9 +110,61 @@ def cmd_info(args) -> int:
                           "total_bytes": described["total_bytes"]},
                          sort_keys=True))
         return 0
+    from repro.planner import plan_fingerprint_digest, plan_version_of
+
     trace = load_trace(args.trace)
-    print(json.dumps(trace.describe(), indent=2, sort_keys=True))
+    payload = dict(trace.describe())
+    # Which plan generation this trace was recorded under: the fingerprint
+    # digest the inbox clusters by, and the ledger version carried in a
+    # replanned plan's method string (0 = unversioned base plan).
+    payload["plan_fingerprint"] = plan_fingerprint_digest(trace.plan)
+    payload["plan_version"] = plan_version_of(trace.plan.method) or 0
+    print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
+
+
+def _suggest_fusions(args, counts) -> int:
+    """Re-derive superinstruction candidates from a recorded profile.
+
+    The data-driven half of ``repro.vm.synth``: score every catalog pair
+    against this workload's compiled instruction streams and the recorded
+    dispatch profile, mark what :func:`~repro.vm.synth.select_fusions`
+    would pick, and flag selections missing from ``DEFAULT_FUSIONS`` (the
+    signal that the shipped literal needs re-deriving).
+    """
+
+    from repro.vm import synth
+    from repro.vm.compiler import compile_program
+    from repro.vm.opcodes import OPCODE_NAMES
+
+    resolved = _pipeline_for(args.suggest_fusions, args)
+    if resolved is None:
+        return 2
+    pipeline, _environment = resolved
+    compiled = compile_program(pipeline.program)
+    ranked = synth.rank_candidates(synth.static_pair_counts(compiled), counts)
+    selected = synth.select_fusions(compiled, counts)
+    if not ranked:
+        print(f"no fusible pairs scored for {args.suggest_fusions}: the "
+              "profile and the compiled program share no catalog pair")
+        return 0
+    print(f"fusion candidates for {args.suggest_fusions} "
+          f"(profile: {sum(counts.values())} dispatches, "
+          f"* = selected by select_fusions):")
+    for name, score in ranked:
+        first, second = synth.PAIR_CATALOG[name]
+        marker = "*" if name in selected else " "
+        print(f" {marker} {name:<18} score={score:>10}  "
+              f"({OPCODE_NAMES[first]};{OPCODE_NAMES[second]})")
+    missing = sorted(set(selected) - set(synth.DEFAULT_FUSIONS))
+    if missing:
+        print(f"not in DEFAULT_FUSIONS (re-derive?): {', '.join(missing)}")
+    return 0
+
+
+_NO_PROFILE_LINE = ("no profile recorded: the telemetry source has no "
+                    "vm.opcode.* counters (record with --telemetry "
+                    "--profile-vm)")
 
 
 def cmd_stats(args) -> int:
@@ -120,32 +172,33 @@ def cmd_stats(args) -> int:
 
     from repro.telemetry import read_jsonl, render_summary
 
+    service = snapshot = None
     if args.jsonl:
         records = read_jsonl(args.jsonl)
-        if args.opcodes is not None:
-            from repro.vm import synth
-
-            print(synth.render_dispatch_table(
-                synth.profile_from_records(records), top=args.opcodes))
-            return 0
-        print(render_summary(records))
-        return 0
-    service = ReproService(args.root, config=build_config(args))
-    snapshot = service.telemetry()
-    if args.opcodes is not None:
+    else:
+        service = ReproService(args.root, config=build_config(args))
+        snapshot = service.telemetry()
+        records = [json.loads(line) for line in snapshot.jsonl_lines()]
+    if args.opcodes is not None or args.suggest_fusions:
         from repro.vm import synth
 
-        records = [json.loads(line) for line in snapshot.jsonl_lines()]
-        print(synth.render_dispatch_table(
-            synth.profile_from_records(records), top=args.opcodes))
+        counts = synth.profile_from_records(records)
+        if not counts:
+            print(_NO_PROFILE_LINE)
+            return 0
+        if args.suggest_fusions:
+            return _suggest_fusions(args, counts)
+        print(synth.render_dispatch_table(counts, top=args.opcodes))
+        return 0
+    if args.jsonl:
+        print(render_summary(records))
         return 0
     if args.json:
         print(json.dumps(service.stats().to_json(), sort_keys=True))
         print(json.dumps(snapshot.to_json(), sort_keys=True))
     else:
         print(f"inbox={json.dumps(service.inbox.describe(), sort_keys=True)}")
-        print(render_summary(
-            [json.loads(line) for line in snapshot.jsonl_lines()]))
+        print(render_summary(records))
     return 0
 
 
@@ -216,7 +269,9 @@ def cmd_serve(args) -> int:
                  ("search_deadline", "search_deadline_seconds"),
                  ("checkpoint_every", "checkpoint_every_runs"),
                  ("search_retries", "max_search_retries"),
-                 ("preempt_after", "preempt_after_seconds"))
+                 ("preempt_after", "preempt_after_seconds"),
+                 ("replan_after", "replan_after_reports"),
+                 ("replan_seed", "replan_seed"))
     for arg_name, field_name in overrides:
         value = getattr(args, arg_name)
         if value is not None:
@@ -298,6 +353,42 @@ def cmd_loadgen(args) -> int:
         with open(args.out, "w") as handle:
             handle.write(rendered + "\n")
     return 0 if summary["ok"] else 1
+
+
+def cmd_replan(args) -> int:
+    """Revise instrumentation plans from a service root's fleet history.
+
+    Offline counterpart of ``serve --replan-after``: fold the root's
+    reproduced clusters into fleet observations, ask the seeded replanner
+    for the next plan version of every observed program, and register the
+    revisions in the plan ledger next to the spool.  Clients fetch the new
+    versions through the server's ``plan`` op; traces recorded under older
+    versions keep working (routed by fingerprint).
+    """
+
+    with ReproService(args.root, config=build_config(args)) as service:
+        revisions = service.replan(seed=args.seed,
+                                   max_drop_fraction=args.max_drop_fraction)
+        ledger = service.plan_ledger
+        if not ledger.programs:
+            print("no reproduced clusters with stored traces; nothing to "
+                  "replan")
+            return 0
+        for program in sorted(ledger.programs):
+            entry = ledger.latest(program)
+            if program in revisions:
+                revision = entry.revision or {}
+                print(f"{program}: v{entry.parent} -> v{entry.version} "
+                      f"dropped={len(revision.get('dropped', ()))} "
+                      f"added={len(revision.get('added', ()))} "
+                      f"logged={len(entry.instrumented)} "
+                      "predicted_overhead_delta="
+                      f"{revision.get('predicted_overhead_delta_percent')}%")
+            else:
+                print(f"{program}: converged at v{entry.version} "
+                      f"({len(entry.instrumented)} branches logged)")
+        print(f"ledger={ledger.path}")
+    return 0
 
 
 def cmd_serve_batch(args) -> int:
@@ -471,6 +562,12 @@ def main(argv=None) -> int:
                                 "when smaller searches wait (0 = never)")
     serve_net.add_argument("--no-supervise", action="store_true",
                            help="run searches inline without the supervisor")
+    serve_net.add_argument("--replan-after", type=int, default=None,
+                           help="revise instrumentation plans after this "
+                                "many fanned-out reports (0 = never; see "
+                                "the `replan` subcommand)")
+    serve_net.add_argument("--replan-seed", type=int, default=None,
+                           help="replanner tie-break seed")
     serve_net.add_argument("--faults", default=None, metavar="JSON",
                            help="FaultSpec JSON for chaos testing, e.g. "
                                 '\'{"spool_fail_rate": 0.2, '
@@ -522,6 +619,25 @@ def main(argv=None) -> int:
                        help="render the top-N VM dispatch table (vm.opcode.* "
                             "counters, logged-vs-bare branch split) instead "
                             "of the full summary (default N=12)")
+    stats.add_argument("--suggest-fusions", default=None, metavar="WORKLOAD",
+                       help="re-derive superinstruction candidates for this "
+                            "workload's program from the recorded vm.opcode.* "
+                            "profile (repro.vm.synth.select_fusions)")
+
+    replan = sub.add_parser(
+        "replan",
+        help="revise instrumentation plans from a service root's reproduced "
+             "clusters; registers new versions in the plan ledger")
+    replan.add_argument("--root", required=True,
+                        help="service/inbox state directory")
+    replan.add_argument("--backend", default="vm", choices=["interp", "vm"])
+    replan.add_argument("--seed", type=int, default=None,
+                        help="replanner tie-break seed (default: config's "
+                             "service.replan_seed)")
+    replan.add_argument("--max-drop-fraction", type=float, default=None,
+                        help="fraction of the droppable branch pool removed "
+                             "per generation (default: config's "
+                             "service.replan_max_drop_fraction)")
 
     args = parser.parse_args(argv)
     if args.command == "stats" and not (args.root or args.jsonl):
@@ -530,7 +646,7 @@ def main(argv=None) -> int:
                "info": cmd_info, "replay": cmd_replay,
                "inbox": cmd_inbox, "serve-batch": cmd_serve_batch,
                "serve": cmd_serve, "loadgen": cmd_loadgen,
-               "stats": cmd_stats}[args.command]
+               "stats": cmd_stats, "replan": cmd_replan}[args.command]
     try:
         return handler(args)
     except BrokenPipeError:

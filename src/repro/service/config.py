@@ -166,6 +166,17 @@ class ServiceSection:
     retry_backoff_seconds: float = 0.05
     checkpoint_every_runs: int = 0
     checkpoint_dir: str = ""
+    #: Adaptive planning (:mod:`repro.planner`): after this many reports
+    #: fanned out by :meth:`ReproService.process`, the service replans
+    #: automatically at the end of the batch (0 = manual ``replan`` only).
+    #: In-flight searches always finish under their own plan versions first.
+    replan_after_reports: int = 0
+    #: Seed of the replanner's tie-breaking policy (same history + same
+    #: seed ⇒ byte-identical plan ledger).
+    replan_seed: int = 0
+    #: Fraction of the droppable (concrete-only, never-helped) branch pool
+    #: removed per replan generation.
+    replan_max_drop_fraction: float = 0.5
 
 
 @dataclass

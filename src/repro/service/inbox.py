@@ -60,6 +60,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.planner.ledger import plan_fingerprint_digest, plan_version_of
 from repro.trace import Trace, TraceError, load_trace_bytes
 
 __all__ = [
@@ -339,6 +340,14 @@ class TraceCluster:
     #: ``(plan fingerprint, crash site)`` identity shared by clusters that
     #: are the same bug recorded from different inputs.
     bug_key: str = ""
+    #: Digest of the recording plan's instrumented-branch fingerprint: which
+    #: plan *generation* the members were recorded under (see
+    #: :mod:`repro.planner.ledger`).  Empty on entries persisted before
+    #: adaptive planning existed.
+    plan_fingerprint: str = ""
+    #: Ledger version encoded in the plan's method string (``replan/vN``);
+    #: 0 for unversioned base plans.
+    plan_version: int = 0
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -352,6 +361,8 @@ class TraceCluster:
             "status": self.status,
             "report": self.report,
             "bug_key": self.bug_key,
+            "plan_fingerprint": self.plan_fingerprint,
+            "plan_version": self.plan_version,
         }
 
     @classmethod
@@ -365,7 +376,9 @@ class TraceCluster:
                    members=list(payload.get("members", [])),
                    status=payload.get("status", "pending"),
                    report=payload.get("report"),
-                   bug_key=payload.get("bug_key", ""))
+                   bug_key=payload.get("bug_key", ""),
+                   plan_fingerprint=payload.get("plan_fingerprint", ""),
+                   plan_version=payload.get("plan_version", 0))
 
 
 class TraceInbox:
@@ -434,7 +447,11 @@ class TraceInbox:
                                    crash_site=crash,
                                    bits=len(trace.bitvector),
                                    arrival=self._sequence,
-                                   bug_key=bug_key)
+                                   bug_key=bug_key,
+                                   plan_fingerprint=plan_fingerprint_digest(
+                                       trace.plan),
+                                   plan_version=plan_version_of(
+                                       trace.plan.method) or 0)
             self.clusters[cluster_id] = cluster
         cluster.members.append(trace_id)
         stored = ""

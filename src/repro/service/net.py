@@ -49,9 +49,11 @@ Wire protocol (one frame per message, both directions)::
     response := status u8 | JSON body
 
 Ops: ``U`` upload (header ``{client, digest}``, body = trace bytes),
-``R`` report (``{trace}``), ``S`` stats, ``P`` process.  Statuses:
-``A`` ack, ``B`` retry-after, ``Q`` quota-exceeded, ``E`` error,
-``R`` report, ``S`` stats, ``P`` processed.
+``R`` report (``{trace}``), ``S`` stats, ``P`` process, ``L`` plan
+(``{program, version?}`` — fetch a registered instrumentation-plan version
+from the ledger; omitted version means latest).  Statuses: ``A`` ack,
+``B`` retry-after, ``Q`` quota-exceeded, ``E`` error, ``R`` report,
+``S`` stats, ``P`` processed, ``L`` plan.
 """
 
 from __future__ import annotations
@@ -97,6 +99,7 @@ OP_UPLOAD = ord("U")
 OP_REPORT = ord("R")
 OP_STATS = ord("S")
 OP_PROCESS = ord("P")
+OP_PLAN = ord("L")
 
 ST_ACK = ord("A")
 ST_RETRY = ord("B")
@@ -105,6 +108,7 @@ ST_ERROR = ord("E")
 ST_REPORT = ord("R")
 ST_STATS = ord("S")
 ST_PROCESSED = ord("P")
+ST_PLAN = ord("L")
 
 #: Slack on top of ``max_trace_bytes`` for the op byte and JSON header.
 _FRAME_SLACK = 64 * 1024
@@ -461,6 +465,8 @@ class UploadServer:
             status, response = self._handle_stats()
         elif op == OP_PROCESS:
             status, response = self._handle_process(header)
+        elif op == OP_PLAN:
+            status, response = self._handle_plan(header)
         else:
             self._count("service.net.protocol_errors")
             status, response = ST_ERROR, {"reason": f"unknown op {op}"}
@@ -588,6 +594,31 @@ class UploadServer:
                             for trace_id, report in reports.items()},
                 "stats": self.service.stats().to_json(),
             }
+
+    def _handle_plan(self, header: Dict[str, object]
+                     ) -> Tuple[int, Dict[str, object]]:
+        """Serve a registered plan version to a (re)deploying client.
+
+        This is how revised plans reach the fleet: a client asks for its
+        program's latest version (or a pinned one), records under it, and
+        the version rides back inside every trace's plan method string.
+        Clients that never ask keep recording under their old plan — their
+        uploads stay routable by fingerprint, so nothing forces an upgrade.
+        """
+
+        program = str(header.get("program", ""))
+        version = header.get("version")
+        with self._lock:
+            ledger = self.service.plan_ledger
+            entry = (ledger.version(program, int(version))
+                     if version is not None else ledger.latest(program))
+            if entry is None:
+                return ST_ERROR, {
+                    "reason": f"no plan registered for program {program!r}"
+                              + (f" version {version}" if version is not None
+                                 else "")}
+            return ST_PLAN, {"plan": entry.to_json(),
+                             "latest": ledger.latest(program).version}
 
     # -- the spool-writer side of the bounded queue -----------------------------
 
@@ -748,6 +779,23 @@ class UploadClient:
         _status, body = self._request(
             _encode_request(OP_PROCESS, header),
             timeout=max(self.timeout, 600.0))
+        return body
+
+    def plan(self, program: str,
+             version: Optional[int] = None) -> Dict[str, object]:
+        """Fetch a registered plan version (latest when *version* is None).
+
+        Returns the :meth:`~repro.planner.ledger.PlanVersion.to_json`
+        payload plus the program's current latest version number; raises
+        :class:`UploadRejected` when the program (or version) is unknown.
+        """
+
+        header: Dict[str, object] = {"program": program}
+        if version is not None:
+            header["version"] = version
+        status, body = self._request(_encode_request(OP_PLAN, header))
+        if status != ST_PLAN:
+            raise UploadRejected(str(body.get("reason", "no such plan")))
         return body
 
     def wait_report(self, trace_id: str, timeout: float = 30.0,

@@ -31,6 +31,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.config import PipelineConfig
 from repro.instrument.methods import InstrumentationMethod, build_plan
 from repro.lang.program import Program
+from repro.planner import (FleetObservations, PlanLedger, PlanVersion,
+                           ReplanPolicy, Replanner, plan_fingerprint_digest)
 from repro.replay.engine import ReplayEngine, ReplayOutcome, WorkerCrashError
 from repro.service.config import ReproConfig
 from repro.service.inbox import IngestResult, SpoolJournal, TraceCluster, \
@@ -321,6 +323,10 @@ class ReproService:
         #: trace's cluster commits (ingest→report latency).
         self._arrivals: Dict[str, float] = {}
         self._flushes = 0
+        self._plan_ledger: Optional[PlanLedger] = None
+        #: Reports fanned out since the last replan (the automatic trigger
+        #: counter when ``service.replan_after_reports`` is set).
+        self._reports_since_replan = 0
 
     # -- ingestion (delegated) --------------------------------------------------
 
@@ -428,6 +434,15 @@ class ReproService:
             self._process_clusters(clusters, reports)
         self._registry.counter("service.process_wall_seconds",
                                timing=True).inc(time.perf_counter() - start)
+        # The automatic replan trigger runs strictly after the batch: every
+        # search dispatched above has committed against the plan version its
+        # trace was recorded under, so revising the ledger here can never
+        # touch an in-flight search.
+        svc = self.config.service
+        if svc.replan_after_reports > 0:
+            self._reports_since_replan += len(reports)
+            if self._reports_since_replan >= svc.replan_after_reports:
+                self.replan()
         if self._telemetry_on and self.config.telemetry.jsonl_path:
             self.flush_telemetry(self.config.telemetry.jsonl_path)
         return reports
@@ -571,6 +586,16 @@ class ReproService:
                 InstrumentationMethod(trace.plan.method),
                 program.branch_locations,
                 log_syscalls=trace.plan.log_syscalls)
+        else:
+            # Analysis-based and replanned plans cannot be re-derived here,
+            # but the plan ledger can vouch for them: a trace whose plan
+            # fingerprint matches a registered version is verified against
+            # that version's plan — the strict matched-binaries check for
+            # every generation of a mixed-fingerprint fleet.
+            entry = self.plan_ledger.by_fingerprint(
+                cluster.program, plan_fingerprint_digest(trace.plan))
+            if entry is not None:
+                expect_plan = entry.plan()
         replay = self.config.replay
         execution = self.config.execution
         return ReplayEngine.from_trace(
@@ -648,6 +673,97 @@ class ReproService:
         self._registry.histogram(
             "service.ingest_latency", SECONDS_BUCKETS,
             timing=True).observe(time.perf_counter() - arrival)
+
+    # -- adaptive planning (repro.planner) --------------------------------------
+
+    @property
+    def plan_ledger(self) -> PlanLedger:
+        """The versioned plan registry persisted next to this inbox."""
+
+        if self._plan_ledger is None:
+            self._plan_ledger = PlanLedger.load(self.inbox.root)
+        return self._plan_ledger
+
+    def replan(self, seed: Optional[int] = None,
+               max_drop_fraction: Optional[float] = None
+               ) -> Dict[str, PlanVersion]:
+        """Revise instrumentation plans from everything the fleet reported.
+
+        Walks the done-and-reproduced clusters (sorted by cluster id, so the
+        same history always folds in the same order), registers each trace's
+        plan in the ledger, re-profiles each reproduced run at the developer
+        site with the report's ``found_input`` (full branch visibility — the
+        evidence the user site cannot afford to collect), and asks the
+        seeded :class:`~repro.planner.replanner.Replanner` for the next plan
+        version of every observed program.  New versions are registered with
+        their :class:`~repro.planner.replanner.PlanRevision` diffs and the
+        ledger is saved; searches already dispatched against older versions
+        are unaffected — their traces still resolve by fingerprint.
+
+        Returns the newly registered versions keyed by program name (empty
+        once the policy has converged for every program).
+        """
+
+        from repro.concolic.engine import ConcolicEngine
+        from repro.core.pipeline import Pipeline
+
+        svc = self.config.service
+        policy = ReplanPolicy(
+            seed=svc.replan_seed if seed is None else seed,
+            max_drop_fraction=(svc.replan_max_drop_fraction
+                               if max_drop_fraction is None
+                               else max_drop_fraction))
+        ledger = self.plan_ledger
+        observations = FleetObservations()
+        pipelines: Dict[str, Pipeline] = {}
+        for cluster_id in sorted(self.inbox.clusters):
+            cluster = self.inbox.clusters[cluster_id]
+            if (cluster.status != "done" or not cluster.report
+                    or not cluster.report.get("reproduced")):
+                continue
+            representative = cluster.members[0]
+            try:
+                trace = load_trace(self.inbox.trace_path(representative))
+            except (TraceError, KeyError, OSError):
+                continue  # store_traces off or a lost file: no evidence
+            program = self.program_for(cluster.program)
+            ledger.register_base(cluster.program, trace.plan)
+            report = ReproductionReport.from_json(
+                cluster.report, trace_id=representative, cluster=cluster)
+            observations.observe_report(cluster.program, report,
+                                        crash_site=cluster.crash_site)
+            environment = trace.environment_spec.to_environment()
+            engine = ConcolicEngine(program, environment,
+                                    backend=self.config.execution.backend)
+            recorder = engine.profile_run(overrides=dict(report.found_input))
+            observations.observe_profile(cluster.program, trace.plan,
+                                         recorder)
+            pipeline = pipelines.get(cluster.program)
+            if pipeline is None:
+                pipeline = pipelines[cluster.program] = Pipeline(
+                    program, self.config)
+            observations.observe_recording(
+                cluster.program, pipeline.baseline_steps(environment))
+        revisions: Dict[str, PlanVersion] = {}
+        replanner = Replanner(policy)
+        for program_name in sorted(observations.programs):
+            latest = ledger.latest(program_name)
+            if latest is None:
+                continue
+            proposal = replanner.propose(program_name, latest.plan(),
+                                         observations,
+                                         version=latest.version + 1,
+                                         parent=latest.version)
+            if proposal is None:
+                continue
+            plan, revision = proposal
+            revisions[program_name] = ledger.register(
+                program_name, plan, revision.to_json())
+            self._registry.counter("service.replans").inc()
+        if ledger.programs:
+            ledger.save()
+        self._reports_since_replan = 0
+        return revisions
 
     # -- queries ----------------------------------------------------------------
 
